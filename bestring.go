@@ -1,0 +1,91 @@
+package bestring
+
+import (
+	"bestring/internal/core"
+)
+
+// Core model types, re-exported from the implementation.
+type (
+	// Point is an integer 2-D coordinate.
+	Point = core.Point
+	// Rect is a minimum bounding rectangle [X0,X1]x[Y0,Y1].
+	Rect = core.Rect
+	// Object is a labelled icon object with its MBR.
+	Object = core.Object
+	// Image is a symbolic image: labelled MBRs in a bounded canvas.
+	Image = core.Image
+	// Kind distinguishes begin from end boundary symbols.
+	Kind = core.Kind
+	// Token is one BE-string symbol: a boundary symbol or the dummy 'E'.
+	Token = core.Token
+	// Axis is one dimension of a 2D BE-string.
+	Axis = core.Axis
+	// BEString is the 2D BE-string of a symbolic image.
+	BEString = core.BEString
+	// Transform is one of the eight dihedral transforms (rotations and
+	// reflections) supported directly on strings.
+	Transform = core.Transform
+	// Indexed is a symbolic image with incremental insert/delete support.
+	Indexed = core.Indexed
+)
+
+// Boundary kinds.
+const (
+	Begin = core.Begin
+	End   = core.End
+)
+
+// The eight linear transformations of paper section 5.
+const (
+	Identity     = core.Identity
+	Rot90        = core.Rot90
+	Rot180       = core.Rot180
+	Rot270       = core.Rot270
+	FlipX        = core.FlipX
+	FlipY        = core.FlipY
+	FlipDiag     = core.FlipDiag
+	FlipAntiDiag = core.FlipAntiDiag
+)
+
+// AllTransforms lists the dihedral group in a stable order.
+var AllTransforms = core.AllTransforms
+
+// NewRect returns the MBR spanning two corner points in any order.
+func NewRect(x0, y0, x1, y1 int) Rect { return core.NewRect(x0, y0, x1, y1) }
+
+// NewImage returns an image with the given canvas size and objects.
+func NewImage(xmax, ymax int, objects ...Object) Image {
+	return core.NewImage(xmax, ymax, objects...)
+}
+
+// Convert builds the 2D BE-string of a symbolic image (the paper's
+// Algorithm 1, Convert-2D-Be-String).
+func Convert(img Image) (BEString, error) { return core.Convert(img) }
+
+// MustConvert is Convert for known-valid images; it panics on error.
+func MustConvert(img Image) BEString { return core.MustConvert(img) }
+
+// ParseBEString parses the textual "x-axis | y-axis" rendering.
+func ParseBEString(s string) (BEString, error) { return core.ParseBEString(s) }
+
+// NewIndexed wraps an image for incremental object insertion/deletion.
+func NewIndexed(img Image) (*Indexed, error) { return core.NewIndexed(img) }
+
+// ApplyToImage transforms an image in coordinate space (the counterpart of
+// BEString.Apply, mainly useful in tests and examples).
+func ApplyToImage(img Image, t Transform) Image { return core.ApplyToImage(img, t) }
+
+// Figure1Image returns the paper's Figure 1 example image.
+func Figure1Image() Image { return core.Figure1Image() }
+
+// Figure1BEString returns the 2D BE-string printed under Figure 1.
+func Figure1BEString() BEString { return core.Figure1BEString() }
+
+// DummyToken returns the dummy object 'E'.
+func DummyToken() Token { return core.DummyToken() }
+
+// BeginToken returns the begin-boundary symbol for a label.
+func BeginToken(label string) Token { return core.BeginToken(label) }
+
+// EndToken returns the end-boundary symbol for a label.
+func EndToken(label string) Token { return core.EndToken(label) }

@@ -1,0 +1,112 @@
+// Command benchtab regenerates every evaluation artefact of the 2D
+// BE-string paper as text tables (or CSV series): experiments E1-E8 of
+// DESIGN.md. Run with -exp all (default) or a single experiment id (e7b is the adversarial clique companion).
+//
+// Usage:
+//
+//	benchtab [-exp e1|e2|...|e8|all] [-quick] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bestring/internal/bench"
+	"bestring/internal/retrieval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run: e1..e8 or all")
+	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sweep := []int{4, 8, 16, 32, 64}
+	lcsGrid := []int{4, 16, 64}
+	mmParts := []int{3, 5, 7, 9, 11}
+	scenesPerPoint := 20
+	qualityCfgs := bench.QualityConfigs(bench.DefaultSeed)
+	if *quick {
+		sweep = []int{4, 8}
+		lcsGrid = []int{4, 8}
+		mmParts = []int{3, 5}
+		scenesPerPoint = 3
+		qualityCfgs = qualityCfgs[:1]
+		qualityCfgs[0].Cfg = retrieval.WorkloadConfig{
+			Seed: bench.DefaultSeed, Distractors: 10, Relevant: 2, Queries: 2, Jitter: 2,
+		}
+	}
+
+	type job struct {
+		id  string
+		run func() (*bench.Table, error)
+	}
+	jobs := []job{
+		{"e1", func() (*bench.Table, error) { return bench.Figure1(), nil }},
+		{"e2", func() (*bench.Table, error) { return bench.Storage(sweep, scenesPerPoint) }},
+		{"e3", func() (*bench.Table, error) { return bench.ConvertTiming(sweep), nil }},
+		{"e4", func() (*bench.Table, error) { return bench.LCSTiming(lcsGrid, lcsGrid), nil }},
+		{"e5", nil}, // expanded below: one table per difficulty
+		{"e6", func() (*bench.Table, error) { return bench.Transforms(24, 10) }},
+		{"e7", func() (*bench.Table, error) { return bench.MatchCost(sweep), nil }},
+		{"e7b", func() (*bench.Table, error) { return bench.CliqueBlowup(mmParts), nil }},
+		{"e8", func() (*bench.Table, error) { return bench.Incremental(sweep) }},
+	}
+
+	emit := func(t *bench.Table) error {
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", t.ID, t.Caption, t.CSV())
+			return nil
+		}
+		if err := t.Fprint(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	}
+
+	want := strings.ToLower(*exp)
+	ran := false
+	for _, j := range jobs {
+		if want != "all" && want != j.id {
+			continue
+		}
+		ran = true
+		if j.id == "e5" {
+			for _, qc := range qualityCfgs {
+				t, err := bench.Quality(qc.Cfg)
+				if err != nil {
+					return fmt.Errorf("e5 %s: %w", qc.Name, err)
+				}
+				t.Caption = qc.Name + " workload: " + t.Caption
+				if err := emit(t); err != nil {
+					return fmt.Errorf("e5 %s: %w", qc.Name, err)
+				}
+			}
+			continue
+		}
+		t, err := j.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.id, err)
+		}
+		if err := emit(t); err != nil {
+			return fmt.Errorf("%s: %w", j.id, err)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want e1..e8 or all)", *exp)
+	}
+	return nil
+}

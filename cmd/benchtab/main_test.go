@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunQuickAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	if err := run([]string{"-quick"}); err != nil {
+		t.Fatalf("run -quick: %v", err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "e1"}); err != nil {
+		t.Fatalf("run -exp e1: %v", err)
+	}
+	if err := run([]string{"-exp", "e1", "-csv"}); err != nil {
+		t.Fatalf("run -exp e1 -csv: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "e99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

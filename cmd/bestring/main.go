@@ -1,0 +1,307 @@
+// Command bestring is the command-line front end of the 2D BE-string
+// library: convert symbolic images to BE-strings, score image pairs,
+// search a database, apply rotations/reflections on strings, generate
+// synthetic datasets and render images.
+//
+// Usage:
+//
+//	bestring convert   -img scene.json
+//	bestring score     -query q.json -db d.json [-invariant]
+//	bestring search    -dbfile db.json -query q.json [-k 10] [-method be|invariant|type0|type1|type2]
+//	bestring transform -img scene.json -t rot90|rot180|rot270|flip-x|flip-y
+//	bestring mkdb      -out db.json [-count 50] [-seed 1] [-objects 8] [-vocab 24]
+//	bestring render    -img scene.json -out scene.png
+//	bestring ascii     -img scene.json [-cols 60] [-rows 24]
+//
+// Image files are JSON in the core.Image format:
+//
+//	{"xmax":6,"ymax":6,"objects":[{"label":"A","box":{"x0":1,"y0":2,"x1":3,"y1":5}}]}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bestring"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bestring:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (convert, score, search, transform, mkdb, render, ascii)")
+	}
+	switch args[0] {
+	case "convert":
+		return cmdConvert(args[1:])
+	case "score":
+		return cmdScore(args[1:])
+	case "search":
+		return cmdSearch(args[1:])
+	case "transform":
+		return cmdTransform(args[1:])
+	case "mkdb":
+		return cmdMkdb(args[1:])
+	case "render":
+		return cmdRender(args[1:])
+	case "ascii":
+		return cmdASCII(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// loadImage reads a symbolic image from a JSON file ("-" for stdin).
+func loadImage(path string) (bestring.Image, error) {
+	var img bestring.Image
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return img, fmt.Errorf("read image: %w", err)
+	}
+	if err := json.Unmarshal(data, &img); err != nil {
+		return img, fmt.Errorf("parse image JSON: %w", err)
+	}
+	if err := img.Validate(); err != nil {
+		return img, fmt.Errorf("invalid image: %w", err)
+	}
+	return img, nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	imgPath := fs.String("img", "-", "image JSON file (- for stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	img, err := loadImage(*imgPath)
+	if err != nil {
+		return err
+	}
+	be, err := bestring.Convert(img)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("x: %s\ny: %s\nstorage units: %d\n", be.X, be.Y, be.StorageUnits())
+	return nil
+}
+
+func cmdScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ContinueOnError)
+	qPath := fs.String("query", "", "query image JSON file")
+	dPath := fs.String("db", "", "database image JSON file")
+	invariant := fs.Bool("invariant", false, "take the best score over all rotations/reflections")
+	explain := fs.Bool("explain", false, "print the matched common subsequence")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *qPath == "" || *dPath == "" {
+		return fmt.Errorf("score: -query and -db are required")
+	}
+	qImg, err := loadImage(*qPath)
+	if err != nil {
+		return err
+	}
+	dImg, err := loadImage(*dPath)
+	if err != nil {
+		return err
+	}
+	q, err := bestring.Convert(qImg)
+	if err != nil {
+		return err
+	}
+	d, err := bestring.Convert(dImg)
+	if err != nil {
+		return err
+	}
+	if *invariant {
+		s := bestring.SimilarityInvariant(q, d, nil)
+		fmt.Printf("best transform: %s\nLCS x=%d y=%d\nsim(query)=%.4f sim(db)=%.4f sim(F)=%.4f\n",
+			s.Transform, s.LX, s.LY, s.Query, s.DB, s.F)
+		return nil
+	}
+	s := bestring.Similarity(q, d)
+	fmt.Printf("LCS x=%d y=%d\nsim(query)=%.4f sim(db)=%.4f sim(F)=%.4f\n",
+		s.LX, s.LY, s.Query, s.DB, s.F)
+	if *explain {
+		m := bestring.Explain(q, d)
+		fmt.Printf("matched x: %s\nmatched y: %s\n", m.X, m.Y)
+	}
+	return nil
+}
+
+// scorerByName maps -method values to scorers.
+func scorerByName(name string) (bestring.Scorer, error) {
+	switch strings.ToLower(name) {
+	case "", "be":
+		return bestring.BEScorer(), nil
+	case "invariant":
+		return bestring.InvariantScorer(nil), nil
+	case "type0":
+		return bestring.TypeSimScorer(bestring.Type0), nil
+	case "type1":
+		return bestring.TypeSimScorer(bestring.Type1), nil
+	case "type2":
+		return bestring.TypeSimScorer(bestring.Type2), nil
+	default:
+		return nil, fmt.Errorf("unknown method %q (want be, invariant, type0, type1, type2)", name)
+	}
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	dbPath := fs.String("dbfile", "", "database JSON file (see mkdb)")
+	qPath := fs.String("query", "", "query image JSON file")
+	k := fs.Int("k", 10, "number of results")
+	method := fs.String("method", "be", "scoring method: be, invariant, type0, type1, type2")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *qPath == "" {
+		return fmt.Errorf("search: -dbfile and -query are required")
+	}
+	db, err := bestring.LoadDBFile(*dbPath)
+	if err != nil {
+		return err
+	}
+	img, err := loadImage(*qPath)
+	if err != nil {
+		return err
+	}
+	scorer, err := scorerByName(*method)
+	if err != nil {
+		return err
+	}
+	results, err := db.Search(context.Background(), img, bestring.SearchOptions{K: *k, Scorer: scorer})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-4s %-20s %-10s %s\n", "rank", "id", "score", "name")
+	for i, r := range results {
+		fmt.Printf("%-4d %-20s %-10.4f %s\n", i+1, r.ID, r.Score, r.Name)
+	}
+	return nil
+}
+
+// transformByName maps CLI names to Transform values.
+func transformByName(name string) (bestring.Transform, error) {
+	for _, tr := range bestring.AllTransforms {
+		if tr.String() == name {
+			return tr, nil
+		}
+	}
+	return bestring.Identity, fmt.Errorf("unknown transform %q", name)
+}
+
+func cmdTransform(args []string) error {
+	fs := flag.NewFlagSet("transform", flag.ContinueOnError)
+	imgPath := fs.String("img", "-", "image JSON file (- for stdin)")
+	tName := fs.String("t", "rot90", "transform: rot90, rot180, rot270, flip-x, flip-y, flip-diag, flip-antidiag")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	img, err := loadImage(*imgPath)
+	if err != nil {
+		return err
+	}
+	tr, err := transformByName(*tName)
+	if err != nil {
+		return err
+	}
+	be, err := bestring.Convert(img)
+	if err != nil {
+		return err
+	}
+	out := be.Apply(tr)
+	fmt.Printf("transform: %s\nx: %s\ny: %s\n", tr, out.X, out.Y)
+	return nil
+}
+
+func cmdMkdb(args []string) error {
+	fs := flag.NewFlagSet("mkdb", flag.ContinueOnError)
+	out := fs.String("out", "db.json", "output database file")
+	count := fs.Int("count", 50, "number of scenes")
+	seed := fs.Int64("seed", 1, "generator seed")
+	objects := fs.Int("objects", 8, "objects per scene")
+	vocab := fs.Int("vocab", 24, "icon vocabulary size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	gen := bestring.NewSceneGenerator(bestring.SceneConfig{
+		Seed: *seed, Objects: *objects, Vocabulary: *vocab,
+	})
+	db := bestring.NewDB()
+	for i := 0; i < *count; i++ {
+		id := fmt.Sprintf("scene%04d", i)
+		if err := db.Insert(id, fmt.Sprintf("synthetic scene %d", i), gen.Scene()); err != nil {
+			return err
+		}
+	}
+	if err := db.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d scenes to %s\n", *count, *out)
+	return nil
+}
+
+func cmdRender(args []string) error {
+	fs := flag.NewFlagSet("render", flag.ContinueOnError)
+	imgPath := fs.String("img", "-", "image JSON file (- for stdin)")
+	out := fs.String("out", "out.png", "output PNG file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	img, err := loadImage(*imgPath)
+	if err != nil {
+		return err
+	}
+	p, err := bestring.NewPalette(img.Labels())
+	if err != nil {
+		return err
+	}
+	raster, err := bestring.Render(img, p)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bestring.EncodePNG(f, raster); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func cmdASCII(args []string) error {
+	fs := flag.NewFlagSet("ascii", flag.ContinueOnError)
+	imgPath := fs.String("img", "-", "image JSON file (- for stdin)")
+	cols := fs.Int("cols", 60, "art width")
+	rows := fs.Int("rows", 24, "art height")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	img, err := loadImage(*imgPath)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bestring.ASCII(img, *cols, *rows))
+	return nil
+}

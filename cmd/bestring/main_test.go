@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bestring"
+)
+
+// writeFig1 materialises the Figure 1 image as a JSON file.
+func writeFig1(t *testing.T) string {
+	t.Helper()
+	data, err := json.Marshal(bestring.Figure1Image())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fig1.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestConvertCommand(t *testing.T) {
+	img := writeFig1(t)
+	if err := run([]string{"convert", "-img", img}); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	if err := run([]string{"convert", "-img", img + ".missing"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestScoreCommand(t *testing.T) {
+	img := writeFig1(t)
+	if err := run([]string{"score", "-query", img, "-db", img, "-explain"}); err != nil {
+		t.Fatalf("score: %v", err)
+	}
+	if err := run([]string{"score", "-query", img, "-db", img, "-invariant"}); err != nil {
+		t.Fatalf("score -invariant: %v", err)
+	}
+	if err := run([]string{"score", "-query", img}); err == nil {
+		t.Error("missing -db accepted")
+	}
+}
+
+func TestMkdbAndSearchCommands(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.json")
+	if err := run([]string{"mkdb", "-out", dbPath, "-count", "10", "-seed", "2"}); err != nil {
+		t.Fatalf("mkdb: %v", err)
+	}
+	img := writeFig1(t)
+	for _, method := range []string{"be", "invariant", "type0", "type1", "type2"} {
+		if err := run([]string{"search", "-dbfile", dbPath, "-query", img, "-k", "3", "-method", method}); err != nil {
+			t.Fatalf("search -method %s: %v", method, err)
+		}
+	}
+	if err := run([]string{"search", "-dbfile", dbPath, "-query", img, "-method", "cosine"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run([]string{"search", "-query", img}); err == nil {
+		t.Error("missing -dbfile accepted")
+	}
+}
+
+func TestTransformCommand(t *testing.T) {
+	img := writeFig1(t)
+	for _, tr := range []string{"rot90", "rot180", "rot270", "flip-x", "flip-y", "flip-diag", "flip-antidiag"} {
+		if err := run([]string{"transform", "-img", img, "-t", tr}); err != nil {
+			t.Fatalf("transform -t %s: %v", tr, err)
+		}
+	}
+	if err := run([]string{"transform", "-img", img, "-t", "rot45"}); err == nil {
+		t.Error("unknown transform accepted")
+	}
+}
+
+func TestRenderAndASCIICommands(t *testing.T) {
+	img := writeFig1(t)
+	out := filepath.Join(t.TempDir(), "fig1.png")
+	if err := run([]string{"render", "-img", img, "-out", out}); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil || len(data) < 8 || string(data[1:4]) != "PNG" {
+		t.Errorf("render output is not a PNG (%v, %d bytes)", err, len(data))
+	}
+	if err := run([]string{"ascii", "-img", img, "-cols", "20", "-rows", "10"}); err != nil {
+		t.Fatalf("ascii: %v", err)
+	}
+}
+
+func TestLoadImageRejectsBadJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadImage(path); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"xmax":5,"ymax":5,"objects":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadImage(path); err == nil {
+		t.Error("invalid image accepted")
+	}
+}

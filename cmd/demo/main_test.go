@@ -1,0 +1,106 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) http.Handler {
+	t.Helper()
+	srv, err := newServer(12, 7, 6, 16)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	return srv
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIndexListsScenes(t *testing.T) {
+	rec := get(t, testServer(t), "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "scene0000") || !strings.Contains(body, "scene0011") {
+		t.Error("index missing scene links")
+	}
+}
+
+func TestImageServesPNG(t *testing.T) {
+	srv := testServer(t)
+	rec := get(t, srv, "/image/scene0003")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/png" {
+		t.Errorf("content type = %q", ct)
+	}
+	if rec.Body.Len() < 8 || rec.Body.String()[1:4] != "PNG" {
+		t.Error("body is not a PNG")
+	}
+	// .png suffix tolerated.
+	if rec := get(t, srv, "/image/scene0003.png"); rec.Code != http.StatusOK {
+		t.Errorf(".png suffix: status = %d", rec.Code)
+	}
+	if rec := get(t, srv, "/image/ghost"); rec.Code != http.StatusNotFound {
+		t.Errorf("missing id: status = %d", rec.Code)
+	}
+}
+
+func TestSearchSelfIsTopResult(t *testing.T) {
+	rec := get(t, testServer(t), "/search?id=scene0004&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "scene0004") || !strings.Contains(body, "1.0000") {
+		t.Error("self search should score 1.0000")
+	}
+	if !strings.Contains(body, "query 2D BE-string") {
+		t.Error("BE-string panel missing")
+	}
+}
+
+func TestSearchTransformed(t *testing.T) {
+	rec := get(t, testServer(t), "/search?id=scene0002&t=rot90&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	// Invariant scorer must still find the original at score 1.
+	if !strings.Contains(body, "scene0002") || !strings.Contains(body, "1.0000") {
+		t.Error("rotated query should retrieve the original at 1.0000")
+	}
+}
+
+func TestSearchPartial(t *testing.T) {
+	rec := get(t, testServer(t), "/search?id=scene0001&keep=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "first 3 objects") {
+		t.Error("partial query banner missing")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	srv := testServer(t)
+	if rec := get(t, srv, "/search?id=ghost"); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown id: status = %d", rec.Code)
+	}
+	if rec := get(t, srv, "/search?id=scene0001&t=rot45"); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown transform: status = %d", rec.Code)
+	}
+	if rec := get(t, srv, "/search?id=scene0001&keep=zero"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad keep: status = %d", rec.Code)
+	}
+}

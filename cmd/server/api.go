@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"bestring"
+)
+
+// newMux wires the REST routes onto a database.
+func newMux(db *bestring.DB) http.Handler {
+	api := &api{db: db}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", api.health)
+	mux.HandleFunc("GET /api/images", api.listImages)
+	mux.HandleFunc("POST /api/images", api.insertImage)
+	mux.HandleFunc("GET /api/images/{id}", api.getImage)
+	mux.HandleFunc("DELETE /api/images/{id}", api.deleteImage)
+	mux.HandleFunc("POST /api/search", api.search)
+	mux.HandleFunc("GET /api/search/dsl", api.searchDSL)
+	mux.HandleFunc("GET /api/region", api.region)
+	return mux
+}
+
+type api struct {
+	db *bestring.DB
+}
+
+// writeJSON emits a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after WriteHeader are unrecoverable; ignore.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr emits a JSON error envelope.
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (a *api) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "images": a.db.Len()})
+}
+
+func (a *api) listImages(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ids": a.db.IDs()})
+}
+
+// insertRequest is the POST /api/images payload.
+type insertRequest struct {
+	ID    string         `json:"id"`
+	Name  string         `json:"name"`
+	Image bestring.Image `json:"image"`
+}
+
+func (a *api) insertImage(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	if err := a.db.Insert(req.ID, req.Name, req.Image); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, bestring.ErrDuplicate) {
+			status = http.StatusConflict
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+func (a *api) getImage(w http.ResponseWriter, r *http.Request) {
+	e, ok := a.db.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, bestring.ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+func (a *api) deleteImage(w http.ResponseWriter, r *http.Request) {
+	if err := a.db.Delete(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+// searchRequest is the POST /api/search payload.
+type searchRequest struct {
+	Image  bestring.Image `json:"image"`
+	K      int            `json:"k"`
+	Method string         `json:"method"` // be (default), invariant, type0, type1, type2
+}
+
+func (a *api) search(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	var scorer bestring.Scorer
+	switch req.Method {
+	case "", "be":
+		scorer = bestring.BEScorer()
+	case "invariant":
+		scorer = bestring.InvariantScorer(nil)
+	case "type0":
+		scorer = bestring.TypeSimScorer(bestring.Type0)
+	case "type1":
+		scorer = bestring.TypeSimScorer(bestring.Type1)
+	case "type2":
+		scorer = bestring.TypeSimScorer(bestring.Type2)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown method %q", req.Method))
+		return
+	}
+	results, err := a.db.Search(r.Context(), req.Image, bestring.SearchOptions{
+		K: req.K, Scorer: scorer,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (a *api) searchDSL(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query().Get("q")
+	q, err := bestring.ParseQuery(qs)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	k := 0
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		if k, err = strconv.Atoi(ks); err != nil || k < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
+			return
+		}
+	}
+	results, err := a.db.SearchDSL(r.Context(), q, k)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"query": q.String(), "results": results})
+}
+
+func (a *api) region(w http.ResponseWriter, r *http.Request) {
+	coord := func(name string) (int, error) {
+		v := r.URL.Query().Get(name)
+		if v == "" {
+			return 0, fmt.Errorf("missing %s", name)
+		}
+		return strconv.Atoi(v)
+	}
+	x0, err1 := coord("x0")
+	y0, err2 := coord("y0")
+	x1, err3 := coord("x1")
+	y1, err4 := coord("y1")
+	for _, err := range []error{err1, err2, err3, err4} {
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	hits := a.db.SearchRegion(bestring.NewRect(x0, y0, x1, y1), r.URL.Query().Get("label"))
+	writeJSON(w, http.StatusOK, map[string]any{"hits": hits})
+}

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bestring"
+)
+
+func testMux(t *testing.T) http.Handler {
+	t.Helper()
+	db, err := openDB("", 10, 3)
+	if err != nil {
+		t.Fatalf("openDB: %v", err)
+	}
+	return newMux(db)
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatalf("encode body: %v", err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decode(t *testing.T, rec *httptest.ResponseRecorder, v any) {
+	t.Helper()
+	if err := json.NewDecoder(rec.Body).Decode(v); err != nil {
+		t.Fatalf("decode response: %v (body %q)", err, rec.Body.String())
+	}
+}
+
+func TestHealth(t *testing.T) {
+	rec := do(t, testMux(t), http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out struct {
+		OK     bool `json:"ok"`
+		Images int  `json:"images"`
+	}
+	decode(t, rec, &out)
+	if !out.OK || out.Images != 10 {
+		t.Errorf("health = %+v", out)
+	}
+}
+
+func TestImageCRUD(t *testing.T) {
+	mux := testMux(t)
+	img := bestring.Figure1Image()
+
+	rec := do(t, mux, http.MethodPost, "/api/images", map[string]any{
+		"id": "fig1", "name": "figure one", "image": img,
+	})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("insert status = %d: %s", rec.Code, rec.Body.String())
+	}
+	// Duplicate -> 409.
+	rec = do(t, mux, http.MethodPost, "/api/images", map[string]any{
+		"id": "fig1", "image": img,
+	})
+	if rec.Code != http.StatusConflict {
+		t.Errorf("duplicate status = %d", rec.Code)
+	}
+	// Fetch.
+	rec = do(t, mux, http.MethodGet, "/api/images/fig1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get status = %d", rec.Code)
+	}
+	var entry bestring.Entry
+	decode(t, rec, &entry)
+	if entry.Name != "figure one" || !entry.BE.Equal(bestring.Figure1BEString()) {
+		t.Errorf("entry = %+v", entry)
+	}
+	// List contains it.
+	rec = do(t, mux, http.MethodGet, "/api/images", nil)
+	var list struct {
+		IDs []string `json:"ids"`
+	}
+	decode(t, rec, &list)
+	if len(list.IDs) != 11 {
+		t.Errorf("ids = %d, want 11", len(list.IDs))
+	}
+	// Delete.
+	rec = do(t, mux, http.MethodDelete, "/api/images/fig1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete status = %d", rec.Code)
+	}
+	if rec := do(t, mux, http.MethodGet, "/api/images/fig1", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("get after delete = %d", rec.Code)
+	}
+	if rec := do(t, mux, http.MethodDelete, "/api/images/fig1", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("double delete = %d", rec.Code)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	mux := testMux(t)
+	rec := do(t, mux, http.MethodPost, "/api/images", map[string]any{
+		"id": "bad", "image": bestring.NewImage(5, 5),
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("invalid image status = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/images", bytes.NewBufferString("{"))
+	rec2 := httptest.NewRecorder()
+	mux.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("malformed json status = %d", rec2.Code)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	db, err := openDB("", 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := newMux(db)
+	// Use a stored image as the query: it must rank first at score 1.
+	entry, ok := db.Get("scene0006")
+	if !ok {
+		t.Fatal("scene0006 missing")
+	}
+	for _, method := range []string{"be", "invariant", "type2"} {
+		rec := do(t, mux, http.MethodPost, "/api/search", map[string]any{
+			"image": entry.Image, "k": 3, "method": method,
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("method %s: status = %d: %s", method, rec.Code, rec.Body.String())
+		}
+		var out struct {
+			Results []bestring.Result `json:"results"`
+		}
+		decode(t, rec, &out)
+		if len(out.Results) != 3 || out.Results[0].ID != "scene0006" || out.Results[0].Score != 1 {
+			t.Errorf("method %s: results = %+v", method, out.Results)
+		}
+	}
+	// Unknown method.
+	rec := do(t, mux, http.MethodPost, "/api/search", map[string]any{
+		"image": entry.Image, "method": "cosine",
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown method status = %d", rec.Code)
+	}
+}
+
+func TestSearchDSLEndpoint(t *testing.T) {
+	db, err := openDB("", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beach := bestring.NewImage(20, 20,
+		bestring.Object{Label: "sun", Box: bestring.NewRect(14, 14, 18, 18)},
+		bestring.Object{Label: "sea", Box: bestring.NewRect(0, 0, 20, 6)},
+	)
+	if err := db.Insert("beach", "", beach); err != nil {
+		t.Fatal(err)
+	}
+	mux := newMux(db)
+	rec := do(t, mux, http.MethodGet, "/api/search/dsl?q=sun+above+sea&k=5", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Results []bestring.QueryResult `json:"results"`
+	}
+	decode(t, rec, &out)
+	if len(out.Results) != 1 || out.Results[0].ID != "beach" || !out.Results[0].Full {
+		t.Errorf("results = %+v", out.Results)
+	}
+	if rec := do(t, mux, http.MethodGet, "/api/search/dsl?q=bogus", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad query status = %d", rec.Code)
+	}
+	if rec := do(t, mux, http.MethodGet, "/api/search/dsl?q=sun+above+sea&k=-1", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad k status = %d", rec.Code)
+	}
+}
+
+func TestRegionEndpoint(t *testing.T) {
+	db, err := openDB("", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("fig1", "", bestring.Figure1Image()); err != nil {
+		t.Fatal(err)
+	}
+	mux := newMux(db)
+	rec := do(t, mux, http.MethodGet, "/api/region?x0=0&y0=0&x1=6&y1=6", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out struct {
+		Hits []bestring.RegionHit `json:"hits"`
+	}
+	decode(t, rec, &out)
+	if len(out.Hits) != 3 {
+		t.Errorf("hits = %+v, want 3 icons", out.Hits)
+	}
+	rec = do(t, mux, http.MethodGet, "/api/region?x0=0&y0=0&x1=6&y1=6&label=C", nil)
+	decode(t, rec, &out)
+	if len(out.Hits) != 1 || out.Hits[0].Label != "C" {
+		t.Errorf("label-filtered hits = %+v", out.Hits)
+	}
+	if rec := do(t, mux, http.MethodGet, "/api/region?x0=0", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing coords status = %d", rec.Code)
+	}
+	if rec := do(t, mux, http.MethodGet, "/api/region?x0=a&y0=0&x1=6&y1=6", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad coord status = %d", rec.Code)
+	}
+}
+
+func TestOpenDBVariants(t *testing.T) {
+	db, err := openDB("", 0, 0)
+	if err != nil || db.Len() != 0 {
+		t.Errorf("empty openDB: %v, len %d", err, db.Len())
+	}
+	// dbfile round trip.
+	path := t.TempDir() + "/db.json"
+	gen := bestring.NewSceneGenerator(bestring.SceneConfig{Seed: 4})
+	src := bestring.NewDB()
+	for i := 0; i < 3; i++ {
+		if err := src.Insert(fmt.Sprintf("s%d", i), "", gen.Scene()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := openDB(path, 0, 0)
+	if err != nil || loaded.Len() != 3 {
+		t.Errorf("openDB(dbfile): %v, len %d", err, loaded.Len())
+	}
+	if _, err := openDB(path+".missing", 0, 0); err == nil {
+		t.Error("missing dbfile accepted")
+	}
+}

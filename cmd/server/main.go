@@ -1,0 +1,70 @@
+// Command server exposes the 2D BE-string image database as a JSON REST
+// API — the headless counterpart of cmd/demo, suitable for embedding the
+// retrieval system in a larger application.
+//
+// Endpoints:
+//
+//	GET    /healthz                           liveness
+//	GET    /api/images                        list stored ids
+//	POST   /api/images                        insert {"id","name","image"}
+//	GET    /api/images/{id}                   fetch one entry
+//	DELETE /api/images/{id}                   remove one entry
+//	POST   /api/search                        rank {"image",k,method}
+//	GET    /api/search/dsl?q=A+left-of+B&k=5  spatial-predicate search
+//	GET    /api/region?x0=&y0=&x1=&y1=&label= R-tree icon lookup
+//
+// Usage:
+//
+//	server [-addr :8081] [-dbfile db.json] [-seed 0 -count 0]
+//
+// With -dbfile the database is loaded from (and saved back to) the file
+// on SIGINT; with -count a synthetic database is generated instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"bestring"
+)
+
+func main() {
+	fs := flag.NewFlagSet("server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8081", "listen address")
+	dbfile := fs.String("dbfile", "", "database JSON file to serve (optional)")
+	count := fs.Int("count", 0, "generate a synthetic database of this size when no -dbfile")
+	seed := fs.Int64("seed", 1, "generator seed for -count")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	db, err := openDB(*dbfile, *count, *seed)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	log.Printf("serving %d images on %s", db.Len(), *addr)
+	if err := http.ListenAndServe(*addr, newMux(db)); err != nil {
+		log.Fatalf("server: %v", err)
+	}
+}
+
+// openDB loads or synthesises the database per the flags.
+func openDB(dbfile string, count int, seed int64) (*bestring.DB, error) {
+	if dbfile != "" {
+		return bestring.LoadDBFile(dbfile)
+	}
+	db := bestring.NewDB()
+	if count <= 0 {
+		return db, nil
+	}
+	gen := bestring.NewSceneGenerator(bestring.SceneConfig{Seed: seed, Vocabulary: 24})
+	for i := 0; i < count; i++ {
+		if err := db.Insert(fmt.Sprintf("scene%04d", i), "synthetic", gen.Scene()); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,111 @@
+// Package bstring implements the 2D B-string representation (Lee, Yang and
+// Chen, ICSC 1992), the immediate ancestor of the 2D BE-string. Like the
+// BE-string it drops cutting and represents every object by its two MBR
+// boundary symbols per axis; unlike the BE-string it keeps one spatial
+// operator, '=', placed between two boundary symbols whose projections are
+// IDENTICAL — exactly the dual of the BE-string's dummy object, which marks
+// projections that are DISTINCT (paper section 3.1).
+package bstring
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bestring/internal/baseline/typesim"
+	"bestring/internal/core"
+)
+
+// Element is a boundary symbol or the '=' operator.
+type Element struct {
+	Label    string    // object label when not an operator
+	Kind     core.Kind // Begin or End when not an operator
+	Operator bool      // true for '='
+}
+
+// String renders the element ("=" or "<label>+/-").
+func (e Element) String() string {
+	if e.Operator {
+		return "="
+	}
+	if e.Kind == core.End {
+		return e.Label + "-"
+	}
+	return e.Label + "+"
+}
+
+// BString is a picture's 2D B-string: two boundary-symbol strings.
+type BString struct {
+	U []Element // along the x-axis
+	V []Element // along the y-axis
+}
+
+// boundary is one projected MBR boundary while building.
+type boundary struct {
+	coord int
+	label string
+	kind  core.Kind
+}
+
+// Build converts an image to its 2D B-string.
+func Build(img core.Image) (BString, error) {
+	if err := img.Validate(); err != nil {
+		return BString{}, fmt.Errorf("2D B-string: %w", err)
+	}
+	xs := make([]boundary, 0, 2*len(img.Objects))
+	ys := make([]boundary, 0, 2*len(img.Objects))
+	for _, o := range img.Objects {
+		xs = append(xs,
+			boundary{o.Box.X0, o.Label, core.Begin},
+			boundary{o.Box.X1, o.Label, core.End})
+		ys = append(ys,
+			boundary{o.Box.Y0, o.Label, core.Begin},
+			boundary{o.Box.Y1, o.Label, core.End})
+	}
+	return BString{U: axisString(xs), V: axisString(ys)}, nil
+}
+
+// axisString sorts boundaries and inserts '=' between coincident ones.
+func axisString(bs []boundary) []Element {
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].coord != bs[j].coord {
+			return bs[i].coord < bs[j].coord
+		}
+		if bs[i].label != bs[j].label {
+			return bs[i].label < bs[j].label
+		}
+		return bs[i].kind < bs[j].kind
+	})
+	out := make([]Element, 0, 2*len(bs))
+	for i, b := range bs {
+		if i > 0 && bs[i-1].coord == b.coord {
+			out = append(out, Element{Operator: true})
+		}
+		out = append(out, Element{Label: b.label, Kind: b.kind})
+	}
+	return out
+}
+
+// StorageUnits counts boundary symbols plus '=' operators across both
+// axes. Note the duality with the BE-string: the B-string spends a unit
+// per coincidence, the BE-string per distinctness, so their sizes move in
+// opposite directions with boundary density (experiment E2 reports both).
+func (s BString) StorageUnits() int { return len(s.U) + len(s.V) }
+
+// String renders "(u | v)".
+func (s BString) String() string {
+	return "(" + renderElements(s.U) + " | " + renderElements(s.V) + ")"
+}
+
+func renderElements(es []Element) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Similarity computes the type-i similarity under this model.
+func Similarity(query, db core.Image, level typesim.Level) typesim.Result {
+	return typesim.Similarity(query, db, level)
+}

@@ -1,0 +1,130 @@
+package bstring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bestring/internal/baseline/typesim"
+	"bestring/internal/core"
+)
+
+func randomImage(seed int) core.Image {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	const xmax, ymax = 32, 24
+	n := 1 + rng.Intn(7)
+	objs := make([]core.Object, 0, n)
+	for i := 0; i < n; i++ {
+		x0 := rng.Intn(xmax)
+		y0 := rng.Intn(ymax)
+		objs = append(objs, core.Object{
+			Label: fmt.Sprintf("O%d", i),
+			Box:   core.NewRect(x0, y0, x0+rng.Intn(xmax-x0+1), y0+rng.Intn(ymax-y0+1)),
+		})
+	}
+	return core.NewImage(xmax, ymax, objs...)
+}
+
+func TestBuildFigure1(t *testing.T) {
+	s, err := Build(core.Figure1Image())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// x boundaries: A+(1) B+(2) A-(3) C+(3) C-(4) B-(5): one coincidence.
+	if got := renderElements(s.U); got != "A+ B+ A- = C+ C- B-" {
+		t.Errorf("u = %q", got)
+	}
+	// y boundaries: B+(1) A+(2) B-(3) C+(3) C-(4) A-(5).
+	if got := renderElements(s.V); got != "B+ A+ B- = C+ C- A-" {
+		t.Errorf("v = %q", got)
+	}
+}
+
+func TestStorageDualityWithBEString(t *testing.T) {
+	// Per axis: B-string spends 2n symbols + one '=' per coincidence;
+	// BE-string spends 2n symbols + one dummy per distinctness (+ edge
+	// gaps). Their storage must therefore satisfy, per axis,
+	//   units(B) + units(BE) == 2n + (2n-1) + 2n + edge-dummies,
+	// i.e. the operator count and internal dummy count are complementary.
+	f := func(seed uint8) bool {
+		img := randomImage(int(seed))
+		b, err := Build(img)
+		if err != nil {
+			return false
+		}
+		be := core.MustConvert(img)
+		n := len(img.Objects)
+		checkAxis := func(bAxis []Element, beAxis core.Axis, first, last bool) bool {
+			ops := len(bAxis) - 2*n
+			dummies := 0
+			for _, tok := range beAxis {
+				if tok.Dummy {
+					dummies++
+				}
+			}
+			edge := 0
+			if first {
+				edge++
+			}
+			if last {
+				edge++
+			}
+			// coincidences + distinct-gaps = 2n-1 adjacencies.
+			return ops+(dummies-edge) == 2*n-1
+		}
+		xFirst := beAxisStartsWithDummy(be.X)
+		xLast := beAxisEndsWithDummy(be.X)
+		yFirst := beAxisStartsWithDummy(be.Y)
+		yLast := beAxisEndsWithDummy(be.Y)
+		return checkAxis(b.U, be.X, xFirst, xLast) && checkAxis(b.V, be.Y, yFirst, yLast)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func beAxisStartsWithDummy(a core.Axis) bool { return len(a) > 0 && a[0].Dummy }
+func beAxisEndsWithDummy(a core.Axis) bool   { return len(a) > 0 && a[len(a)-1].Dummy }
+
+func TestStorageUnitsBounds(t *testing.T) {
+	// Per axis: between 2n (no coincidences) and 4n-1 (all coincide).
+	f := func(seed uint8) bool {
+		img := randomImage(int(seed))
+		s, err := Build(img)
+		if err != nil {
+			return false
+		}
+		n := len(img.Objects)
+		ok := func(es []Element) bool { return len(es) >= 2*n && len(es) <= 4*n-1 }
+		return ok(s.U) && ok(s.V)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	if _, err := Build(core.NewImage(10, 10)); err == nil {
+		t.Error("expected error for empty image")
+	}
+}
+
+func TestSimilarityDelegates(t *testing.T) {
+	img := core.Figure1Image()
+	if got := Similarity(img, img, typesim.Type1).Score(); got != 3 {
+		t.Errorf("self type-1 score = %d, want 3", got)
+	}
+}
+
+func TestElementString(t *testing.T) {
+	if (Element{Operator: true}).String() != "=" {
+		t.Error("operator rendering")
+	}
+	if (Element{Label: "A", Kind: core.Begin}).String() != "A+" {
+		t.Error("begin rendering")
+	}
+	if (Element{Label: "A", Kind: core.End}).String() != "A-" {
+		t.Error("end rendering")
+	}
+}

@@ -1,0 +1,173 @@
+// Package cstring implements the cutting mechanism of the 2D C-string
+// (Lee and Hsu, Pattern Recognition 1990). The C-string minimises the
+// G-string's cutting: objects are processed in begin order, the current
+// leading (dominating) object is kept whole, and only objects that
+// partially overlap the leading one are cut — at the leading object's end
+// boundary. The remainder pieces re-enter the sweep. This removes the
+// G-string's superfluous cuts but, as the BE-string paper notes (section
+// 2), still produces O(n^2) subobjects in the worst case.
+package cstring
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bestring/internal/baseline/typesim"
+	"bestring/internal/core"
+)
+
+// Segment is one subobject after minimal cutting.
+type Segment struct {
+	Label string
+	Lo    int
+	Hi    int
+}
+
+// String renders "label[lo,hi]".
+func (s Segment) String() string { return fmt.Sprintf("%s[%d,%d]", s.Label, s.Lo, s.Hi) }
+
+// CString is a picture's 2D C-string: minimally segmented projections.
+type CString struct {
+	U []Segment
+	V []Segment
+}
+
+// interval is an object projection while cutting.
+type interval struct {
+	label  string
+	lo, hi int
+}
+
+// intervalHeap pops intervals in (lo, label, hi) order.
+type intervalHeap []interval
+
+func (h intervalHeap) Len() int { return len(h) }
+func (h intervalHeap) Less(i, j int) bool {
+	if h[i].lo != h[j].lo {
+		return h[i].lo < h[j].lo
+	}
+	if h[i].label != h[j].label {
+		return h[i].label < h[j].label
+	}
+	return h[i].hi < h[j].hi
+}
+func (h intervalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *intervalHeap) Push(x any)   { *h = append(*h, x.(interval)) }
+func (h *intervalHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Build converts an image to its 2D C-string by minimal cutting per axis.
+func Build(img core.Image) (CString, error) {
+	if err := img.Validate(); err != nil {
+		return CString{}, fmt.Errorf("2D C-string: %w", err)
+	}
+	xs := make([]interval, len(img.Objects))
+	ys := make([]interval, len(img.Objects))
+	for i, o := range img.Objects {
+		xs[i] = interval{o.Label, o.Box.X0, o.Box.X1}
+		ys[i] = interval{o.Label, o.Box.Y0, o.Box.Y1}
+	}
+	return CString{U: cutMinimal(xs), V: cutMinimal(ys)}, nil
+}
+
+// cutMinimal performs the leading-object sweep. Invariant: when an
+// interval is popped, either it lies beyond the current leading end (it
+// becomes the new leading object), it is contained in the leading span
+// (kept whole), or it partially overlaps (cut at the leading end; the tail
+// re-enters the sweep).
+func cutMinimal(ivs []interval) []Segment {
+	if len(ivs) == 0 {
+		return nil
+	}
+	h := make(intervalHeap, len(ivs))
+	copy(h, ivs)
+	heap.Init(&h)
+
+	var segs []Segment
+	lead := heap.Pop(&h).(interval)
+	end := lead.hi
+	segs = append(segs, Segment{lead.label, lead.lo, lead.hi})
+	for h.Len() > 0 {
+		iv := heap.Pop(&h).(interval)
+		switch {
+		case iv.lo >= end:
+			// Beyond the leading span: becomes the new leading object.
+			segs = append(segs, Segment{iv.label, iv.lo, iv.hi})
+			end = iv.hi
+		case iv.hi <= end:
+			// Fully inside the leading span: kept whole.
+			segs = append(segs, Segment{iv.label, iv.lo, iv.hi})
+		default:
+			// Partial overlap: cut at the leading end; tail re-enters.
+			segs = append(segs, Segment{iv.label, iv.lo, end})
+			heap.Push(&h, interval{iv.label, end, iv.hi})
+		}
+	}
+	sortSegments(segs)
+	return segs
+}
+
+func sortSegments(segs []Segment) {
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Lo != segs[j].Lo {
+			return segs[i].Lo < segs[j].Lo
+		}
+		if segs[i].Label != segs[j].Label {
+			return segs[i].Label < segs[j].Label
+		}
+		return segs[i].Hi < segs[j].Hi
+	})
+}
+
+// SegmentCount returns the number of subobjects per axis (u, v).
+func (c CString) SegmentCount() (int, int) { return len(c.U), len(c.V) }
+
+// StorageUnits counts subobject symbols plus joining operators across both
+// axes, comparably to the other family members.
+func (c CString) StorageUnits() int {
+	return storageUnits(c.U) + storageUnits(c.V)
+}
+
+func storageUnits(segs []Segment) int {
+	if len(segs) == 0 {
+		return 0
+	}
+	return 2*len(segs) - 1
+}
+
+// String renders the segmented strings ('=' same position, '|' adjoining,
+// '<' otherwise).
+func (c CString) String() string {
+	return "(" + renderSegments(c.U) + " | " + renderSegments(c.V) + ")"
+}
+
+func renderSegments(segs []Segment) string {
+	var b strings.Builder
+	for i, s := range segs {
+		if i > 0 {
+			prev := segs[i-1]
+			switch {
+			case prev.Lo == s.Lo:
+				b.WriteString(" = ")
+			case prev.Hi == s.Lo:
+				b.WriteString(" | ")
+			default:
+				b.WriteString(" < ")
+			}
+		}
+		b.WriteString(s.Label)
+	}
+	return b.String()
+}
+
+// Similarity computes the type-i similarity under this model.
+func Similarity(query, db core.Image, level typesim.Level) typesim.Result {
+	return typesim.Similarity(query, db, level)
+}

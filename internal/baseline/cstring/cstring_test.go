@@ -1,0 +1,206 @@
+package cstring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bestring/internal/baseline/gstring"
+	"bestring/internal/baseline/typesim"
+	"bestring/internal/core"
+)
+
+func randomImage(seed int) core.Image {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	const xmax, ymax = 32, 24
+	n := 1 + rng.Intn(7)
+	objs := make([]core.Object, 0, n)
+	for i := 0; i < n; i++ {
+		x0 := rng.Intn(xmax)
+		y0 := rng.Intn(ymax)
+		objs = append(objs, core.Object{
+			Label: fmt.Sprintf("O%d", i),
+			Box:   core.NewRect(x0, y0, x0+rng.Intn(xmax-x0+1), y0+rng.Intn(ymax-y0+1)),
+		})
+	}
+	return core.NewImage(xmax, ymax, objs...)
+}
+
+func TestNoOverlapMeansNoCuts(t *testing.T) {
+	img := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 3, 3)},
+		core.Object{Label: "B", Box: core.NewRect(10, 10, 13, 13)},
+	)
+	c, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v := c.SegmentCount()
+	if u != 2 || v != 2 {
+		t.Errorf("segments = (%d,%d), want (2,2)", u, v)
+	}
+}
+
+func TestLeadingObjectKeptWhole(t *testing.T) {
+	// A [0,6], B [4,10]: A leads and stays whole; B is cut at 6.
+	img := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 6, 3)},
+		core.Object{Label: "B", Box: core.NewRect(4, 0, 10, 3)},
+	)
+	c, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Segment{{"A", 0, 6}, {"B", 4, 6}, {"B", 6, 10}}
+	if len(c.U) != len(want) {
+		t.Fatalf("x-segments = %v, want %v", c.U, want)
+	}
+	for i := range want {
+		if c.U[i] != want[i] {
+			t.Errorf("segment %d = %v, want %v", i, c.U[i], want[i])
+		}
+	}
+}
+
+func TestContainedObjectNotCut(t *testing.T) {
+	// B inside A: C-string cuts nothing (G-string would cut A in three).
+	img := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 10, 3)},
+		core.Object{Label: "B", Box: core.NewRect(3, 0, 6, 3)},
+	)
+	c, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := c.SegmentCount()
+	if u != 2 {
+		t.Errorf("x-segments = %d, want 2 (no cuts under containment): %v", u, c.U)
+	}
+}
+
+func TestChainOfOverlaps(t *testing.T) {
+	// A [0,10], B [2,12], C [4,14]: cuts at 10 then 12.
+	img := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 10, 3)},
+		core.Object{Label: "B", Box: core.NewRect(2, 0, 12, 3)},
+		core.Object{Label: "C", Box: core.NewRect(4, 0, 14, 3)},
+	)
+	c, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Segment{
+		{"A", 0, 10}, {"B", 2, 10}, {"C", 4, 10},
+		{"B", 10, 12}, {"C", 10, 12}, {"C", 12, 14},
+	}
+	if len(c.U) != len(want) {
+		t.Fatalf("x-segments = %v, want %v", c.U, want)
+	}
+	for i := range want {
+		if c.U[i] != want[i] {
+			t.Errorf("segment %d = %v, want %v", i, c.U[i], want[i])
+		}
+	}
+}
+
+func TestNeverMoreSegmentsThanGString(t *testing.T) {
+	// Minimal cutting: the C-string never produces more subobjects than
+	// the exhaustive G-string cutting — the improvement Lee & Hsu claimed
+	// and the BE-string paper recounts.
+	f := func(seed uint8) bool {
+		img := randomImage(int(seed))
+		c, err := Build(img)
+		if err != nil {
+			return false
+		}
+		g, err := gstring.Build(img)
+		if err != nil {
+			return false
+		}
+		cu, cv := c.SegmentCount()
+		gu, gv := g.SegmentCount()
+		return cu <= gu && cv <= gv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentsPartitionEachObject(t *testing.T) {
+	f := func(seed uint8) bool {
+		img := randomImage(int(seed))
+		c, err := Build(img)
+		if err != nil {
+			return false
+		}
+		return partitionsOK(c.U, img, true) && partitionsOK(c.V, img, false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func partitionsOK(segs []Segment, img core.Image, xAxis bool) bool {
+	byLabel := make(map[string][]Segment)
+	for _, s := range segs {
+		byLabel[s.Label] = append(byLabel[s.Label], s)
+	}
+	for _, o := range img.Objects {
+		lo, hi := o.Box.Y0, o.Box.Y1
+		if xAxis {
+			lo, hi = o.Box.X0, o.Box.X1
+		}
+		parts := byLabel[o.Label]
+		if len(parts) == 0 {
+			return false
+		}
+		cur := lo
+		for _, p := range parts {
+			if p.Lo != cur || p.Hi < p.Lo {
+				return false
+			}
+			cur = p.Hi
+		}
+		if cur != hi {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	if _, err := Build(core.NewImage(10, 10)); err == nil {
+		t.Error("expected error for empty image")
+	}
+}
+
+func TestSimilarityDelegates(t *testing.T) {
+	img := core.Figure1Image()
+	if got := Similarity(img, img, typesim.Type2).Score(); got != 3 {
+		t.Errorf("self type-2 score = %d, want 3", got)
+	}
+}
+
+func TestStorageUnits(t *testing.T) {
+	c, err := Build(core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 3, 3)},
+		core.Object{Label: "B", Box: core.NewRect(10, 10, 13, 13)},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StorageUnits(); got != 6 {
+		t.Errorf("StorageUnits = %d, want 6", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c, err := Build(core.Figure1Image())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.String(); len(s) == 0 || s[0] != '(' {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,153 @@
+// Package gstring implements the cutting mechanism of the 2D G-string
+// (Chang, Jungert and Li, 1988). The G-string cuts every object along the
+// MBR boundaries of ALL other objects: per axis, an object's projection is
+// segmented at each boundary of another object falling strictly inside it,
+// and every resulting subobject becomes a symbol of the string. This makes
+// the spatial operators simple (the paper's "global" set suffices between
+// cut pieces) at the price of up to O(n^2) subobjects — the storage blowup
+// the BE-string paper's experiment E2 quantifies.
+package gstring
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bestring/internal/baseline/typesim"
+	"bestring/internal/core"
+)
+
+// Segment is one subobject after cutting: a piece [Lo, Hi] of the labelled
+// object's projection.
+type Segment struct {
+	Label string
+	Lo    int
+	Hi    int
+}
+
+// String renders "label[lo,hi]".
+func (s Segment) String() string { return fmt.Sprintf("%s[%d,%d]", s.Label, s.Lo, s.Hi) }
+
+// GString is a picture's 2D G-string: the segmented projections per axis.
+type GString struct {
+	U []Segment // x-axis, sorted by (Lo, Label, Hi)
+	V []Segment // y-axis
+}
+
+// interval is an object projection while cutting.
+type interval struct {
+	label  string
+	lo, hi int
+}
+
+// Build converts an image to its 2D G-string by cutting both axes.
+func Build(img core.Image) (GString, error) {
+	if err := img.Validate(); err != nil {
+		return GString{}, fmt.Errorf("2D G-string: %w", err)
+	}
+	xs := make([]interval, len(img.Objects))
+	ys := make([]interval, len(img.Objects))
+	for i, o := range img.Objects {
+		xs[i] = interval{o.Label, o.Box.X0, o.Box.X1}
+		ys[i] = interval{o.Label, o.Box.Y0, o.Box.Y1}
+	}
+	return GString{U: cutAll(xs), V: cutAll(ys)}, nil
+}
+
+// cutAll segments every interval at every other interval's boundaries
+// strictly inside it — the G-string's exhaustive cutting.
+func cutAll(ivs []interval) []Segment {
+	// Collect all boundary coordinates once.
+	cuts := make([]int, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		cuts = append(cuts, iv.lo, iv.hi)
+	}
+	sort.Ints(cuts)
+	cuts = dedupInts(cuts)
+
+	var segs []Segment
+	for _, iv := range ivs {
+		prev := iv.lo
+		for _, c := range cuts {
+			if c <= iv.lo {
+				continue
+			}
+			if c >= iv.hi {
+				break
+			}
+			segs = append(segs, Segment{Label: iv.label, Lo: prev, Hi: c})
+			prev = c
+		}
+		segs = append(segs, Segment{Label: iv.label, Lo: prev, Hi: iv.hi})
+	}
+	sortSegments(segs)
+	return segs
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sortSegments(segs []Segment) {
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Lo != segs[j].Lo {
+			return segs[i].Lo < segs[j].Lo
+		}
+		if segs[i].Label != segs[j].Label {
+			return segs[i].Label < segs[j].Label
+		}
+		return segs[i].Hi < segs[j].Hi
+	})
+}
+
+// SegmentCount returns the number of subobjects per axis (u, v).
+func (g GString) SegmentCount() (int, int) { return len(g.U), len(g.V) }
+
+// StorageUnits counts subobject symbols plus the operators joining
+// consecutive symbols (one per adjacency) across both axes.
+func (g GString) StorageUnits() int {
+	return storageUnits(g.U) + storageUnits(g.V)
+}
+
+func storageUnits(segs []Segment) int {
+	if len(segs) == 0 {
+		return 0
+	}
+	return 2*len(segs) - 1
+}
+
+// String renders the segmented strings with the family's operators:
+// '=' between same-position pieces, '|' edge-to-edge, '<' disjoint.
+func (g GString) String() string {
+	return "(" + renderSegments(g.U) + " | " + renderSegments(g.V) + ")"
+}
+
+func renderSegments(segs []Segment) string {
+	var b strings.Builder
+	for i, s := range segs {
+		if i > 0 {
+			prev := segs[i-1]
+			switch {
+			case prev.Lo == s.Lo:
+				b.WriteString(" = ")
+			case prev.Hi == s.Lo:
+				b.WriteString(" | ")
+			default:
+				b.WriteString(" < ")
+			}
+		}
+		b.WriteString(s.Label)
+	}
+	return b.String()
+}
+
+// Similarity computes the type-i similarity under this model.
+func Similarity(query, db core.Image, level typesim.Level) typesim.Result {
+	return typesim.Similarity(query, db, level)
+}

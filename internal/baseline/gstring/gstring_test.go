@@ -1,0 +1,185 @@
+package gstring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bestring/internal/baseline/typesim"
+	"bestring/internal/core"
+)
+
+func randomImage(seed int) core.Image {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	const xmax, ymax = 32, 24
+	n := 1 + rng.Intn(7)
+	objs := make([]core.Object, 0, n)
+	for i := 0; i < n; i++ {
+		x0 := rng.Intn(xmax)
+		y0 := rng.Intn(ymax)
+		objs = append(objs, core.Object{
+			Label: fmt.Sprintf("O%d", i),
+			Box:   core.NewRect(x0, y0, x0+rng.Intn(xmax-x0+1), y0+rng.Intn(ymax-y0+1)),
+		})
+	}
+	return core.NewImage(xmax, ymax, objs...)
+}
+
+func TestNoOverlapMeansNoCuts(t *testing.T) {
+	img := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 3, 3)},
+		core.Object{Label: "B", Box: core.NewRect(10, 10, 13, 13)},
+	)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	u, v := g.SegmentCount()
+	if u != 2 || v != 2 {
+		t.Errorf("segments = (%d,%d), want (2,2)", u, v)
+	}
+}
+
+func TestOverlapCutsBoth(t *testing.T) {
+	// A [0,6], B [4,10] on x: A is cut at 4, B at 6 -> 4 x-segments.
+	img := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 6, 3)},
+		core.Object{Label: "B", Box: core.NewRect(4, 0, 10, 3)},
+	)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := g.SegmentCount()
+	if u != 4 {
+		t.Errorf("x-segments = %d, want 4 (%v)", u, g.U)
+	}
+	want := []Segment{{"A", 0, 4}, {"A", 4, 6}, {"B", 4, 6}, {"B", 6, 10}}
+	for i, s := range g.U {
+		if s != want[i] {
+			t.Errorf("segment %d = %v, want %v", i, s, want[i])
+		}
+	}
+}
+
+func TestContainmentCutsOuter(t *testing.T) {
+	// B strictly inside A on x: A cut at both B boundaries (3 pieces), B whole.
+	img := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 10, 3)},
+		core.Object{Label: "B", Box: core.NewRect(3, 0, 6, 3)},
+	)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := g.SegmentCount()
+	if u != 4 {
+		t.Errorf("x-segments = %d, want 4 (A split in 3 + B) — got %v", u, g.U)
+	}
+}
+
+func TestQuadraticWorstCase(t *testing.T) {
+	// n nested intervals: the outermost is cut at 2(n-1) inner boundaries.
+	// Total segments must grow quadratically: sum_i (1 + inner boundaries).
+	const n = 6
+	objs := make([]core.Object, n)
+	for i := 0; i < n; i++ {
+		objs[i] = core.Object{
+			Label: fmt.Sprintf("O%d", i),
+			Box:   core.NewRect(i, i, 2*n-i, 2*n-i),
+		}
+	}
+	img := core.NewImage(2*n, 2*n, objs...)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := g.SegmentCount()
+	// Object i (0-indexed, outermost first) contains 2*(n-1-i) strictly
+	// interior boundaries -> 2(n-1-i)+1 segments; total = sum = n^2.
+	if want := n * n; u != want {
+		t.Errorf("nested worst case: x-segments = %d, want %d", u, want)
+	}
+}
+
+func TestSegmentsPartitionEachObject(t *testing.T) {
+	// The segments of each object must tile its original projection:
+	// consecutive, non-overlapping, covering [lo,hi].
+	f := func(seed uint8) bool {
+		img := randomImage(int(seed))
+		g, err := Build(img)
+		if err != nil {
+			return false
+		}
+		return partitionsOK(g.U, img, true) && partitionsOK(g.V, img, false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func partitionsOK(segs []Segment, img core.Image, xAxis bool) bool {
+	byLabel := make(map[string][]Segment)
+	for _, s := range segs {
+		byLabel[s.Label] = append(byLabel[s.Label], s)
+	}
+	for _, o := range img.Objects {
+		lo, hi := o.Box.Y0, o.Box.Y1
+		if xAxis {
+			lo, hi = o.Box.X0, o.Box.X1
+		}
+		parts := byLabel[o.Label]
+		if len(parts) == 0 {
+			return false
+		}
+		// Already sorted by Lo within a label (global sort is stable on label).
+		cur := lo
+		for _, p := range parts {
+			if p.Lo != cur || p.Hi < p.Lo {
+				return false
+			}
+			cur = p.Hi
+		}
+		if cur != hi {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStorageUnits(t *testing.T) {
+	g, err := Build(core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 3, 3)},
+		core.Object{Label: "B", Box: core.NewRect(10, 10, 13, 13)},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.StorageUnits(); got != 6 {
+		t.Errorf("StorageUnits = %d, want 6 (2 symbols + 1 op per axis)", got)
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	if _, err := Build(core.NewImage(10, 10)); err == nil {
+		t.Error("expected error for empty image")
+	}
+}
+
+func TestSimilarityDelegates(t *testing.T) {
+	img := core.Figure1Image()
+	if got := Similarity(img, img, typesim.Type0).Score(); got != 3 {
+		t.Errorf("self type-0 score = %d, want 3", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g, err := Build(core.Figure1Image())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := g.String(); len(s) == 0 || s[0] != '(' {
+		t.Errorf("String = %q", s)
+	}
+}

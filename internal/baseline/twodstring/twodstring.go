@@ -1,0 +1,113 @@
+// Package twodstring implements Chang, Shi and Yan's original 2-D string
+// representation (IEEE TPAMI 1987), the ancestor of the whole family the
+// BE-string paper builds on. A picture is projected symbolically: each icon
+// object is reduced to a point (its MBR centroid) and the two 1-D strings
+// list the object symbols along x and y, joined by the spatial operators
+// '<' (strictly ordered) and '=' (same projected position).
+//
+// It serves as the storage and retrieval-quality baseline of experiments
+// E2 and E5; its type-i similarity delegates to the shared clique-based
+// assessment in internal/baseline/typesim.
+package twodstring
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bestring/internal/baseline/typesim"
+	"bestring/internal/core"
+)
+
+// Element is one item of a 1-D string: an object symbol or an operator.
+type Element struct {
+	Symbol   string // object label when Operator == 0
+	Operator byte   // '<' or '=' when a spatial operator
+}
+
+// IsOperator reports whether the element is a spatial operator.
+func (e Element) IsOperator() bool { return e.Operator != 0 }
+
+// String renders the element.
+func (e Element) String() string {
+	if e.IsOperator() {
+		return string(e.Operator)
+	}
+	return e.Symbol
+}
+
+// String2D is a picture's 2-D string (u, v).
+type String2D struct {
+	U []Element // along the x-axis
+	V []Element // along the y-axis
+}
+
+// point is a centroid-projected object.
+type point struct {
+	label string
+	x, y  int
+}
+
+// Build converts an image to its 2-D string by projecting MBR centroids.
+func Build(img core.Image) (String2D, error) {
+	if err := img.Validate(); err != nil {
+		return String2D{}, fmt.Errorf("2-D string: %w", err)
+	}
+	pts := make([]point, len(img.Objects))
+	for i, o := range img.Objects {
+		c := o.Box.Center()
+		pts[i] = point{label: o.Label, x: c.X, y: c.Y}
+	}
+	return String2D{
+		U: axisString(pts, func(p point) int { return p.x }),
+		V: axisString(pts, func(p point) int { return p.y }),
+	}, nil
+}
+
+// axisString sorts the points along one axis and joins the symbols with
+// '<' / '=' operators.
+func axisString(pts []point, coord func(point) int) []Element {
+	sorted := make([]point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if coord(sorted[i]) != coord(sorted[j]) {
+			return coord(sorted[i]) < coord(sorted[j])
+		}
+		return sorted[i].label < sorted[j].label
+	})
+	out := make([]Element, 0, 2*len(sorted))
+	for i, p := range sorted {
+		if i > 0 {
+			op := byte('<')
+			if coord(sorted[i-1]) == coord(p) {
+				op = '='
+			}
+			out = append(out, Element{Operator: op})
+		}
+		out = append(out, Element{Symbol: p.label})
+	}
+	return out
+}
+
+// StorageUnits counts symbols plus operators across both strings — the
+// storage metric compared in experiment E2.
+func (s String2D) StorageUnits() int { return len(s.U) + len(s.V) }
+
+// String renders "(u | v)".
+func (s String2D) String() string {
+	return "(" + renderElements(s.U) + " | " + renderElements(s.V) + ")"
+}
+
+func renderElements(es []Element) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Similarity computes the type-i similarity of a database image to a query
+// image under this model (clique-based, per the family's definition).
+func Similarity(query, db core.Image, level typesim.Level) typesim.Result {
+	return typesim.Similarity(query, db, level)
+}

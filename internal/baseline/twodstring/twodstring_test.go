@@ -1,0 +1,87 @@
+package twodstring
+
+import (
+	"strings"
+	"testing"
+
+	"bestring/internal/baseline/typesim"
+	"bestring/internal/core"
+)
+
+func TestBuildOrdersByCentroid(t *testing.T) {
+	img := core.NewImage(20, 20,
+		core.Object{Label: "B", Box: core.NewRect(10, 0, 14, 4)}, // centroid (12,2)
+		core.Object{Label: "A", Box: core.NewRect(0, 6, 4, 10)},  // centroid (2,8)
+	)
+	s, err := Build(img)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := renderElements(s.U); got != "A < B" {
+		t.Errorf("u = %q, want \"A < B\"", got)
+	}
+	if got := renderElements(s.V); got != "B < A" {
+		t.Errorf("v = %q, want \"B < A\"", got)
+	}
+}
+
+func TestBuildEqualOperator(t *testing.T) {
+	img := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 4, 4)},   // centroid (2,2)
+		core.Object{Label: "B", Box: core.NewRect(0, 10, 4, 14)}, // centroid (2,12)
+	)
+	s, err := Build(img)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := renderElements(s.U); got != "A = B" {
+		t.Errorf("u = %q, want \"A = B\"", got)
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	if _, err := Build(core.NewImage(10, 10)); err == nil {
+		t.Error("expected error for empty image")
+	}
+}
+
+func TestStorageUnits(t *testing.T) {
+	img := core.Figure1Image()
+	s, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 symbols + 2 operators per axis = 5+5.
+	if got := s.StorageUnits(); got != 10 {
+		t.Errorf("StorageUnits = %d, want 10", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s, err := Build(core.Figure1Image())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s.String(), "(") || !strings.Contains(s.String(), " | ") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSimilarityDelegates(t *testing.T) {
+	img := core.Figure1Image()
+	if got := Similarity(img, img, typesim.Type2).Score(); got != 3 {
+		t.Errorf("self type-2 score = %d, want 3", got)
+	}
+}
+
+func TestElementString(t *testing.T) {
+	if (Element{Symbol: "A"}).String() != "A" {
+		t.Error("symbol rendering")
+	}
+	if (Element{Operator: '<'}).String() != "<" {
+		t.Error("operator rendering")
+	}
+	if !(Element{Operator: '='}).IsOperator() || (Element{Symbol: "A"}).IsOperator() {
+		t.Error("IsOperator misclassifies")
+	}
+}

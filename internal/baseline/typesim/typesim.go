@@ -1,0 +1,163 @@
+// Package typesim implements the type-0/1/2 similarity assessment shared
+// by the 2-D string family (2-D string, 2D G-string, 2D C-string, 2D
+// B-string). As the BE-string paper recounts (section 2), those models
+// examine the spatial relationship of every object pair in the query
+// against the corresponding pair in a database image, build one
+// compatibility graph per similarity type, and report the size of the
+// maximum complete subgraph — an O(n^2) pair examination followed by an
+// NP-complete maximum-clique search.
+//
+// The paper cites the type definitions without restating them; this
+// package operationalises them as a strict hierarchy over Allen-relation
+// pairs (see DESIGN.md section 4.2):
+//
+//	type-2: identical Allen relation on both axes (strictest)
+//	type-1: identical category and begin-orientation on both axes
+//	type-0: identical begin-orientation on both axes (weakest)
+package typesim
+
+import (
+	"fmt"
+	"sort"
+
+	"bestring/internal/clique"
+	"bestring/internal/core"
+	"bestring/internal/spatial"
+)
+
+// Level selects the similarity strictness.
+type Level int
+
+// Similarity levels, ordered weakest to strictest.
+const (
+	Type0 Level = iota
+	Type1
+	Type2
+)
+
+// AllLevels lists the three levels weakest-first.
+var AllLevels = []Level{Type0, Type1, Type2}
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case Type0:
+		return "type-0"
+	case Type1:
+		return "type-1"
+	case Type2:
+		return "type-2"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// PairOf classifies the 2-D spatial relation of the ordered object pair
+// (a, b) from their MBRs.
+func PairOf(a, b core.Rect) spatial.Pair {
+	return spatial.Pair{
+		X: spatial.Classify(spatial.Interval{Lo: a.X0, Hi: a.X1}, spatial.Interval{Lo: b.X0, Hi: b.X1}),
+		Y: spatial.Classify(spatial.Interval{Lo: a.Y0, Hi: a.Y1}, spatial.Interval{Lo: b.Y0, Hi: b.Y1}),
+	}
+}
+
+// Compatible reports whether a database pair relation satisfies the query
+// pair relation at the given level.
+func Compatible(query, db spatial.Pair, level Level) bool {
+	switch level {
+	case Type2:
+		return query == db
+	case Type1:
+		return query.X.Category() == db.X.Category() &&
+			query.Y.Category() == db.Y.Category() &&
+			query.X.Orientation() == db.X.Orientation() &&
+			query.Y.Orientation() == db.Y.Orientation()
+	default: // Type0
+		return query.X.Orientation() == db.X.Orientation() &&
+			query.Y.Orientation() == db.Y.Orientation()
+	}
+}
+
+// Result reports a type-i similarity: the matched object subset and the
+// score (its size), as the 2-D string family defines it.
+type Result struct {
+	Level   Level
+	Matched []string // labels of one maximum compatible object subset
+}
+
+// Score returns the similarity value (number of matched objects).
+func (r Result) Score() int { return len(r.Matched) }
+
+// Similarity computes the type-i similarity of a database image to a query
+// image: the size of the largest set of common objects whose pairwise
+// spatial relationships all satisfy the level. This is the clique-based
+// assessment the BE-string paper replaces with LCS matching.
+func Similarity(query, db core.Image, level Level) Result {
+	common := commonLabels(query, db)
+	if len(common) == 0 {
+		return Result{Level: level}
+	}
+	qBox := boxesByLabel(query)
+	dBox := boxesByLabel(db)
+	g := clique.New(len(common))
+	for i := 0; i < len(common); i++ {
+		for j := i + 1; j < len(common); j++ {
+			qp := PairOf(qBox[common[i]], qBox[common[j]])
+			dp := PairOf(dBox[common[i]], dBox[common[j]])
+			if Compatible(qp, dp, level) {
+				// Indices are in range by construction.
+				_ = g.AddEdge(i, j)
+			}
+		}
+	}
+	vs := g.MaxClique()
+	matched := make([]string, len(vs))
+	for i, v := range vs {
+		matched[i] = common[v]
+	}
+	sort.Strings(matched)
+	return Result{Level: level, Matched: matched}
+}
+
+// NormalizedScore scales a type-i score into [0,1] by the query object
+// count, making it comparable with the BE-string similarity ratios in the
+// retrieval-quality experiments (E5).
+func NormalizedScore(r Result, query core.Image) float64 {
+	if len(query.Objects) == 0 {
+		return 0
+	}
+	return float64(r.Score()) / float64(len(query.Objects))
+}
+
+// commonLabels returns the sorted labels present in both images.
+func commonLabels(a, b core.Image) []string {
+	inB := make(map[string]bool, len(b.Objects))
+	for _, o := range b.Objects {
+		inB[o.Label] = true
+	}
+	var common []string
+	for _, o := range a.Objects {
+		if inB[o.Label] {
+			common = append(common, o.Label)
+		}
+	}
+	sort.Strings(common)
+	return common
+}
+
+// boxesByLabel indexes an image's MBRs by label.
+func boxesByLabel(img core.Image) map[string]core.Rect {
+	m := make(map[string]core.Rect, len(img.Objects))
+	for _, o := range img.Objects {
+		m[o.Label] = o.Box
+	}
+	return m
+}
+
+// PairCount returns the number of ordered object-pair examinations the
+// type-i assessment performs for images of the given sizes — the O(m^2 +
+// n^2) cost the paper contrasts with LCS (experiment E7's bookkeeping).
+func PairCount(query, db core.Image) int {
+	m, n := len(query.Objects), len(db.Objects)
+	return m*(m-1)/2 + n*(n-1)/2
+}

@@ -1,0 +1,215 @@
+package typesim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bestring/internal/core"
+	"bestring/internal/spatial"
+)
+
+func randomImage(seed int) core.Image {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	const xmax, ymax = 32, 24
+	n := 1 + rng.Intn(7)
+	objs := make([]core.Object, 0, n)
+	for i := 0; i < n; i++ {
+		x0 := rng.Intn(xmax)
+		y0 := rng.Intn(ymax)
+		objs = append(objs, core.Object{
+			Label: fmt.Sprintf("O%d", i),
+			Box:   core.NewRect(x0, y0, x0+rng.Intn(xmax-x0+1), y0+rng.Intn(ymax-y0+1)),
+		})
+	}
+	return core.NewImage(xmax, ymax, objs...)
+}
+
+func TestSelfSimilarityIsFull(t *testing.T) {
+	// An image matched against itself satisfies every level with all
+	// objects.
+	f := func(seed uint8) bool {
+		img := randomImage(int(seed))
+		for _, level := range AllLevels {
+			if Similarity(img, img, level).Score() != len(img.Objects) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyMonotone(t *testing.T) {
+	// type-2 is stricter than type-1 which is stricter than type-0 (paper
+	// section 2), so scores must be non-increasing in strictness.
+	f := func(s1, s2 uint8) bool {
+		q, d := randomImage(int(s1)), randomImage(int(s2))
+		s0 := Similarity(q, d, Type0).Score()
+		s1v := Similarity(q, d, Type1).Score()
+		s2v := Similarity(q, d, Type2).Score()
+		return s2v <= s1v && s1v <= s0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompatibleHierarchy(t *testing.T) {
+	// Pairwise: type-2 compatibility implies type-1 implies type-0, for all
+	// 169x169 relation pairs.
+	for _, qx := range spatial.AllRelations {
+		for _, qy := range spatial.AllRelations {
+			for _, dx := range spatial.AllRelations {
+				for _, dy := range spatial.AllRelations {
+					q := spatial.Pair{X: qx, Y: qy}
+					d := spatial.Pair{X: dx, Y: dy}
+					c2 := Compatible(q, d, Type2)
+					c1 := Compatible(q, d, Type1)
+					c0 := Compatible(q, d, Type0)
+					if c2 && !c1 {
+						t.Fatalf("type-2 ok but type-1 not: %v vs %v", q, d)
+					}
+					if c1 && !c0 {
+						t.Fatalf("type-1 ok but type-0 not: %v vs %v", q, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNoCommonObjects(t *testing.T) {
+	q := core.NewImage(10, 10, core.Object{Label: "A", Box: core.NewRect(0, 0, 2, 2)})
+	d := core.NewImage(10, 10, core.Object{Label: "Z", Box: core.NewRect(0, 0, 2, 2)})
+	for _, level := range AllLevels {
+		if got := Similarity(q, d, level).Score(); got != 0 {
+			t.Errorf("%v: score = %d, want 0", level, got)
+		}
+	}
+}
+
+func TestSingleCommonObject(t *testing.T) {
+	q := core.NewImage(10, 10,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 2, 2)},
+		core.Object{Label: "B", Box: core.NewRect(5, 5, 7, 7)})
+	d := core.NewImage(10, 10, core.Object{Label: "A", Box: core.NewRect(4, 4, 9, 9)})
+	if got := Similarity(q, d, Type2).Score(); got != 1 {
+		t.Errorf("single common object: score = %d, want 1", got)
+	}
+}
+
+func TestRelationViolationDetected(t *testing.T) {
+	// Query: A left of B. Database: A right of B. The pair is incompatible
+	// at every level (orientation differs), so similarity is 1 (any single
+	// object still matches).
+	q := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 3, 3)},
+		core.Object{Label: "B", Box: core.NewRect(10, 0, 13, 3)})
+	d := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(10, 0, 13, 3)},
+		core.Object{Label: "B", Box: core.NewRect(0, 0, 3, 3)})
+	for _, level := range AllLevels {
+		if got := Similarity(q, d, level).Score(); got != 1 {
+			t.Errorf("%v: score = %d, want 1", level, got)
+		}
+	}
+}
+
+func TestLevelDiscriminates(t *testing.T) {
+	// Query: A and B disjoint along x (A before B). Database: A overlaps B
+	// but still begins first. Orientation agrees (type-0 passes), category
+	// differs (type-1 and type-2 fail).
+	q := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 3, 3)},
+		core.Object{Label: "B", Box: core.NewRect(10, 0, 13, 3)})
+	d := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 6, 3)},
+		core.Object{Label: "B", Box: core.NewRect(4, 0, 13, 3)})
+	if got := Similarity(q, d, Type0).Score(); got != 2 {
+		t.Errorf("type-0 score = %d, want 2", got)
+	}
+	if got := Similarity(q, d, Type1).Score(); got != 1 {
+		t.Errorf("type-1 score = %d, want 1", got)
+	}
+	if got := Similarity(q, d, Type2).Score(); got != 1 {
+		t.Errorf("type-2 score = %d, want 1", got)
+	}
+}
+
+func TestPartialQueryFullyMatches(t *testing.T) {
+	// A query that is a sub-image of the database image matches with every
+	// query object at every level (relations are inherited verbatim).
+	f := func(seed uint8) bool {
+		img := randomImage(int(seed))
+		if len(img.Objects) < 2 {
+			return true
+		}
+		sub, _ := img.WithoutObject(img.Objects[int(seed)%len(img.Objects)].Label)
+		for _, level := range AllLevels {
+			if Similarity(sub, img, level).Score() != len(sub.Objects) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedScore(t *testing.T) {
+	q := randomImage(3)
+	r := Similarity(q, q, Type2)
+	if got := NormalizedScore(r, q); got != 1 {
+		t.Errorf("self-similarity normalized = %v, want 1", got)
+	}
+	if got := NormalizedScore(Result{}, core.Image{}); got != 0 {
+		t.Errorf("empty query normalized = %v, want 0", got)
+	}
+}
+
+func TestPairCount(t *testing.T) {
+	q := core.NewImage(10, 10,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 1, 1)},
+		core.Object{Label: "B", Box: core.NewRect(2, 2, 3, 3)},
+		core.Object{Label: "C", Box: core.NewRect(4, 4, 5, 5)})
+	d := q.WithObject(core.Object{Label: "D", Box: core.NewRect(6, 6, 7, 7)})
+	if got := PairCount(q, d); got != 3+6 {
+		t.Errorf("PairCount = %d, want 9", got)
+	}
+}
+
+func TestMatchedLabelsFormClique(t *testing.T) {
+	// Every returned subset must indeed be pairwise compatible.
+	f := func(s1, s2 uint8) bool {
+		q, d := randomImage(int(s1)), randomImage(int(s2))
+		for _, level := range AllLevels {
+			r := Similarity(q, d, level)
+			qBox := boxesByLabel(q)
+			dBox := boxesByLabel(d)
+			for i := 0; i < len(r.Matched); i++ {
+				for j := i + 1; j < len(r.Matched); j++ {
+					qp := PairOf(qBox[r.Matched[i]], qBox[r.Matched[j]])
+					dp := PairOf(dBox[r.Matched[i]], dBox[r.Matched[j]])
+					if !Compatible(qp, dp, level) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Type0.String() != "type-0" || Type1.String() != "type-1" || Type2.String() != "type-2" {
+		t.Error("Level.String misnames levels")
+	}
+}

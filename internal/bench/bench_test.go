@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bestring/internal/retrieval"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "T1",
+		Caption: "test table",
+		Header:  []string{"a", "bb"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("3", "4")
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatalf("Fprint: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T1", "test table", "a", "bb", "1", "4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{ID: "T1", Header: []string{"x", "y"}}
+	tab.AddRow("1", "2")
+	if got := tab.CSV(); got != "x,y\n1,2\n" {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestMeasureOpReasonable(t *testing.T) {
+	d := MeasureOp(2*time.Millisecond, func() { time.Sleep(100 * time.Microsecond) })
+	if d < 50*time.Microsecond || d > 5*time.Millisecond {
+		t.Errorf("MeasureOp = %v, want around 100us", d)
+	}
+}
+
+func TestFigure1Table(t *testing.T) {
+	tab := Figure1()
+	found := false
+	for _, row := range tab.Rows {
+		if row[0] == "exact match" {
+			found = true
+			if row[1] != "true" {
+				t.Errorf("Figure 1 reproduction must match the paper exactly, got %q", row[1])
+			}
+		}
+	}
+	if !found {
+		t.Error("exact-match row missing")
+	}
+}
+
+func TestStorageTableShape(t *testing.T) {
+	tab, err := Storage([]int{4, 8}, 3)
+	if err != nil {
+		t.Fatalf("Storage: %v", err)
+	}
+	if len(tab.Rows) != 4 { // 2 ns x 2 densities
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// BE storage must respect its bounds columns.
+	for _, row := range tab.Rows {
+		be, err1 := strconv.ParseFloat(row[2], 64)
+		lo, err2 := strconv.Atoi(row[7])
+		hi, err3 := strconv.Atoi(row[8])
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("unparseable row %v", row)
+		}
+		if be < float64(lo) || be > float64(hi) {
+			t.Errorf("BE storage %v outside bounds [%d,%d]", be, lo, hi)
+		}
+	}
+}
+
+func TestTimingTablesProduceRows(t *testing.T) {
+	if got := len(ConvertTiming([]int{4, 8}).Rows); got != 2 {
+		t.Errorf("ConvertTiming rows = %d, want 2", got)
+	}
+	if got := len(LCSTiming([]int{4}, []int{4, 8}).Rows); got != 2 {
+		t.Errorf("LCSTiming rows = %d, want 2", got)
+	}
+	if got := len(MatchCost([]int{4}).Rows); got != 1 {
+		t.Errorf("MatchCost rows = %d, want 1", got)
+	}
+	if got := len(CliqueBlowup([]int{3}).Rows); got != 1 {
+		t.Errorf("CliqueBlowup rows = %d, want 1", got)
+	}
+}
+
+func TestQualityTable(t *testing.T) {
+	tab, err := Quality(retrieval.WorkloadConfig{
+		Seed: 1, Distractors: 8, Relevant: 2, Queries: 2, QueryKeep: 4,
+	})
+	if err != nil {
+		t.Fatalf("Quality: %v", err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 methods", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil || v < 0 || v > 1 {
+				t.Errorf("metric cell %q out of range", cell)
+			}
+		}
+	}
+}
+
+func TestQualityConfigsOrdered(t *testing.T) {
+	cfgs := QualityConfigs(1)
+	if len(cfgs) != 3 || cfgs[0].Name != "easy" || cfgs[2].Name != "hard" {
+		t.Errorf("QualityConfigs = %+v", cfgs)
+	}
+}
+
+func TestTransformsTableAllEqual(t *testing.T) {
+	tab, err := Transforms(8, 4)
+	if err != nil {
+		t.Fatalf("Transforms: %v", err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 transforms", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] != "true" {
+			t.Errorf("transform %s: string and rebuild paths disagree", row[0])
+		}
+	}
+}
+
+func TestIncrementalTable(t *testing.T) {
+	tab, err := Incremental([]int{4, 8})
+	if err != nil {
+		t.Fatalf("Incremental: %v", err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+}

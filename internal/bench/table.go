@@ -1,0 +1,101 @@
+// Package bench provides the experiment harness that regenerates every
+// evaluation artefact of the paper (experiments E1-E8 in DESIGN.md):
+// workload construction, timing, and text/CSV table rendering. The same
+// row-generating functions back the cmd/benchtab tool and the root-level
+// testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Table is a printable experiment result: a caption, a header row and data
+// rows.
+type Table struct {
+	ID      string // experiment id, e.g. "E2"
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Caption); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(t.Header, "\t")); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(tw, underline(t.Header)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// CSV renders the table as comma-separated values (header first), the
+// "figure series" form of the experiments.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func underline(header []string) string {
+	parts := make([]string, len(header))
+	for i, h := range header {
+		parts[i] = strings.Repeat("-", len(h))
+	}
+	return strings.Join(parts, "\t")
+}
+
+// MeasureOp times fn by running it enough times to fill minDuration and
+// returns the mean time per operation. fn must not be trivially optimised
+// away (have side effects or sink results).
+func MeasureOp(minDuration time.Duration, fn func()) time.Duration {
+	// Warm-up and single-shot estimate.
+	start := time.Now()
+	fn()
+	single := time.Since(start)
+	if single >= minDuration {
+		return single
+	}
+	iters := int(minDuration/single) + 1
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// Fmt helpers for table cells.
+
+// FmtInt renders an int.
+func FmtInt(v int) string { return fmt.Sprintf("%d", v) }
+
+// FmtF3 renders a float with 3 decimals.
+func FmtF3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// FmtDur renders a duration in microseconds with 2 decimals.
+func FmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e3)
+}

@@ -1,0 +1,186 @@
+// Package clique implements maximum-clique search on small dense graphs.
+// The type-0/1/2 similarity of the 2-D string family reduces image matching
+// to finding the maximum complete subgraph of an object-pair compatibility
+// graph — the NP-complete step the 2D BE-string paper's O(mn) LCS matching
+// replaces (paper sections 2 and 4). The solver is a Bron–Kerbosch
+// enumeration with pivoting over bitset adjacency, adequate for the object
+// counts of symbolic images but intrinsically exponential in the worst
+// case, which is precisely what experiment E7 measures.
+package clique
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// bitset is a fixed-capacity set of vertex indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+wordBits-1)/wordBits) }
+
+func (s bitset) set(i int)      { s[i/wordBits] |= 1 << (i % wordBits) }
+func (s bitset) clear(i int)    { s[i/wordBits] &^= 1 << (i % wordBits) }
+func (s bitset) has(i int) bool { return s[i/wordBits]&(1<<(i%wordBits)) != 0 }
+func (s bitset) clone() bitset  { c := make(bitset, len(s)); copy(c, s); return c }
+func (s bitset) empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s bitset) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// and stores a & b into s.
+func (s bitset) and(a, b bitset) {
+	for i := range s {
+		s[i] = a[i] & b[i]
+	}
+}
+
+// forEach calls fn for every set bit in ascending order.
+func (s bitset) forEach(fn func(i int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &^= 1 << b
+		}
+	}
+}
+
+// Graph is an undirected graph on vertices 0..n-1 with bitset adjacency.
+type Graph struct {
+	n   int
+	adj []bitset
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	g := &Graph{n: n, adj: make([]bitset, n)}
+	for i := range g.adj {
+		g.adj[i] = newBitset(n)
+	}
+	return g
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are ignored.
+// It returns an error if either endpoint is out of range.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("clique: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return nil
+	}
+	g.adj[u].set(v)
+	g.adj[v].set(u)
+	return nil
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	return g.adj[u].has(v)
+}
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u int) int { return g.adj[u].count() }
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for i := 0; i < g.n; i++ {
+		total += g.adj[i].count()
+	}
+	return total / 2
+}
+
+// MaxClique returns the vertices of one maximum clique (ascending order).
+// The empty graph yields an empty slice.
+func (g *Graph) MaxClique() []int {
+	if g.n == 0 {
+		return nil
+	}
+	st := &search{g: g}
+	p := newBitset(g.n)
+	for i := 0; i < g.n; i++ {
+		p.set(i)
+	}
+	st.run(nil, p, newBitset(g.n))
+	out := make([]int, len(st.best))
+	copy(out, st.best)
+	return out
+}
+
+// MaxCliqueSize returns only the size of a maximum clique.
+func (g *Graph) MaxCliqueSize() int { return len(g.MaxClique()) }
+
+// search carries the running best clique through the recursion.
+type search struct {
+	g    *Graph
+	best []int
+}
+
+// run is Bron–Kerbosch with pivoting: r is the current clique, p the
+// candidates, x the excluded set. A size bound prunes branches that cannot
+// beat the incumbent.
+func (s *search) run(r []int, p, x bitset) {
+	if p.empty() && x.empty() {
+		if len(r) > len(s.best) {
+			s.best = append(s.best[:0], r...)
+		}
+		return
+	}
+	if len(r)+p.count() <= len(s.best) {
+		return // bound: cannot improve
+	}
+	pivot := s.choosePivot(p, x)
+	// Branch on candidates not adjacent to the pivot.
+	branch := p.clone()
+	if pivot >= 0 {
+		for i := range branch {
+			branch[i] &^= s.g.adj[pivot][i]
+		}
+	}
+	np := newBitset(s.g.n)
+	nx := newBitset(s.g.n)
+	branch.forEach(func(v int) {
+		np.and(p, s.g.adj[v])
+		nx.and(x, s.g.adj[v])
+		s.run(append(r, v), np.clone(), nx.clone())
+		p.clear(v)
+		x.set(v)
+	})
+}
+
+// choosePivot picks the vertex of p∪x with the most neighbours in p,
+// minimising the branching factor.
+func (s *search) choosePivot(p, x bitset) int {
+	bestV, bestDeg := -1, -1
+	scratch := newBitset(s.g.n)
+	consider := func(v int) {
+		scratch.and(p, s.g.adj[v])
+		if d := scratch.count(); d > bestDeg {
+			bestV, bestDeg = v, d
+		}
+	}
+	p.forEach(consider)
+	x.forEach(consider)
+	return bestV
+}

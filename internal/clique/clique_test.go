@@ -1,0 +1,220 @@
+package clique
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustEdge(t *testing.T, g *Graph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if got := g.MaxClique(); len(got) != 0 {
+		t.Errorf("MaxClique on empty graph = %v", got)
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	g := New(1)
+	if got := g.MaxCliqueSize(); got != 1 {
+		t.Errorf("MaxCliqueSize = %d, want 1", got)
+	}
+}
+
+func TestNoEdges(t *testing.T) {
+	g := New(5)
+	if got := g.MaxCliqueSize(); got != 1 {
+		t.Errorf("isolated vertices: size = %d, want 1", got)
+	}
+}
+
+func TestTriangleInPath(t *testing.T) {
+	// Path 0-1-2-3 plus edge 0-2 creates triangle {0,1,2}.
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 0, 2)
+	got := g.MaxClique()
+	want := []int{0, 1, 2}
+	if len(got) != 3 {
+		t.Fatalf("MaxClique = %v, want size 3", got)
+	}
+	sort.Ints(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MaxClique = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	const n = 8
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mustEdge(t, g, i, j)
+		}
+	}
+	if got := g.MaxCliqueSize(); got != n {
+		t.Errorf("K%d: size = %d, want %d", n, got, n)
+	}
+}
+
+func TestBipartiteHasCliqueTwo(t *testing.T) {
+	// K{3,3} is triangle-free: max clique 2.
+	g := New(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			mustEdge(t, g, i, j)
+		}
+	}
+	if got := g.MaxCliqueSize(); got != 2 {
+		t.Errorf("K3,3: size = %d, want 2", got)
+	}
+}
+
+func TestPlantedClique(t *testing.T) {
+	// Sparse random graph with a planted K6: the solver must find >= 6 and
+	// the returned set must be a clique.
+	rng := rand.New(rand.NewSource(5))
+	const n = 40
+	g := New(n)
+	planted := []int{3, 9, 14, 22, 31, 38}
+	for i := 0; i < len(planted); i++ {
+		for j := i + 1; j < len(planted); j++ {
+			mustEdge(t, g, planted[i], planted[j])
+		}
+	}
+	for e := 0; e < 80; e++ {
+		mustEdge(t, g, rng.Intn(n), rng.Intn(n))
+	}
+	got := g.MaxClique()
+	if len(got) < 6 {
+		t.Fatalf("planted clique missed: size = %d", len(got))
+	}
+	assertClique(t, g, got)
+}
+
+func assertClique(t *testing.T, g *Graph, vs []int) {
+	t.Helper()
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !g.HasEdge(vs[i], vs[j]) {
+				t.Fatalf("returned set %v is not a clique: missing edge (%d,%d)", vs, vs[i], vs[j])
+			}
+		}
+	}
+}
+
+// bruteForce computes the maximum clique size by subset enumeration
+// (reference implementation for cross-validation, n <= ~20).
+func bruteForce(g *Graph) int {
+	n := g.Len()
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		var vs []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) <= best {
+			continue
+		}
+		ok := true
+		for i := 0; i < len(vs) && ok; i++ {
+			for j := i + 1; j < len(vs); j++ {
+				if !g.HasEdge(vs[i], vs[j]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			best = len(vs)
+		}
+	}
+	return best
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	f := func(seed uint8, density uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 2 + rng.Intn(11) // up to 12 vertices
+		g := New(n)
+		p := float64(density%90+5) / 100
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					if err := g.AddEdge(i, j); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		got := g.MaxClique()
+		for i := 0; i < len(got); i++ {
+			for j := i + 1; j < len(got); j++ {
+				if !g.HasEdge(got[i], got[j]) {
+					return false
+				}
+			}
+		}
+		return len(got) == bruteForce(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	for _, e := range [][2]int{{-1, 0}, {0, 3}, {5, 5}} {
+		if err := g.AddEdge(e[0], e[1]); err == nil {
+			t.Errorf("AddEdge(%d,%d): expected error", e[0], e[1])
+		}
+	}
+	if err := g.AddEdge(1, 1); err != nil {
+		t.Errorf("self-loop should be silently ignored: %v", err)
+	}
+	if g.HasEdge(1, 1) {
+		t.Error("self-loop stored")
+	}
+}
+
+func TestDegreeAndEdges(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 0, 3)
+	mustEdge(t, g, 0, 1) // duplicate, no double count
+	if got := g.Degree(0); got != 3 {
+		t.Errorf("Degree(0) = %d, want 3", got)
+	}
+	if got := g.Edges(); got != 3 {
+		t.Errorf("Edges = %d, want 3", got)
+	}
+}
+
+func TestLargeBitsetBoundary(t *testing.T) {
+	// Cross the 64-bit word boundary: clique spanning vertices 60..70.
+	g := New(80)
+	for i := 60; i <= 70; i++ {
+		for j := i + 1; j <= 70; j++ {
+			mustEdge(t, g, i, j)
+		}
+	}
+	got := g.MaxClique()
+	if len(got) != 11 {
+		t.Fatalf("word-boundary clique size = %d, want 11", len(got))
+	}
+	assertClique(t, g, got)
+}

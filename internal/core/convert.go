@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BEString is the 2D BE-string of a symbolic image: one boundary-symbol
+// string per axis (paper section 3.1). An image with n objects uses between
+// 2n+1 symbols (all projections coincide and exactly fit the canvas) and
+// 4n+1 symbols (all projections distinct, gaps at both edges) per axis.
+type BEString struct {
+	X Axis `json:"x"`
+	Y Axis `json:"y"`
+}
+
+// Equal reports whether both axes are symbol-wise identical.
+func (b BEString) Equal(o BEString) bool { return b.X.Equal(o.X) && b.Y.Equal(o.Y) }
+
+// Clone returns a deep copy.
+func (b BEString) Clone() BEString { return BEString{X: b.X.Clone(), Y: b.Y.Clone()} }
+
+// String renders the BE-string as "(x-axis | y-axis)".
+func (b BEString) String() string {
+	return "(" + b.X.String() + " | " + b.Y.String() + ")"
+}
+
+// Validate checks both axes and that they mention the same object labels.
+func (b BEString) Validate() error {
+	if err := b.X.Validate(); err != nil {
+		return fmt.Errorf("x-axis: %w", err)
+	}
+	if err := b.Y.Validate(); err != nil {
+		return fmt.Errorf("y-axis: %w", err)
+	}
+	lx, ly := b.X.Labels(), b.Y.Labels()
+	if len(lx) != len(ly) {
+		return fmt.Errorf("axes disagree on object count: %d vs %d", len(lx), len(ly))
+	}
+	for label := range lx {
+		if !ly[label] {
+			return fmt.Errorf("object %q appears on the x-axis but not the y-axis", label)
+		}
+	}
+	return nil
+}
+
+// Objects returns the number of distinct objects represented.
+func (b BEString) Objects() int { return len(b.X.Labels()) }
+
+// StorageUnits returns the total number of symbols (boundary symbols plus
+// dummy objects) across both axes — the paper's storage metric (section
+// 3.1, experiment E2).
+func (b BEString) StorageUnits() int { return len(b.X) + len(b.Y) }
+
+// boundaryEvent is one projected MBR boundary on a single axis, used while
+// constructing the BE-string (the s_i / t_i work items of Algorithm 1).
+type boundaryEvent struct {
+	coord int
+	label string
+	kind  Kind
+}
+
+// sortEvents orders events by (coordinate, label, kind) ascending; Begin
+// precedes End on full ties so that zero-extent objects emit begin before
+// end. The paper sorts by "coordinate and object identifier" (Algorithm 1
+// lines 14-19); the kind tie-break is our deterministic refinement.
+func sortEvents(events []boundaryEvent) {
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.coord != b.coord {
+			return a.coord < b.coord
+		}
+		if a.label != b.label {
+			return a.label < b.label
+		}
+		return a.kind < b.kind
+	})
+}
+
+// buildAxis converts sorted boundary events into a BE-string axis,
+// inserting dummy objects where consecutive projections are distinct and at
+// the canvas edges when a gap exists (Algorithm 1 lines 21-45).
+func buildAxis(events []boundaryEvent, maxCoord int) Axis {
+	if len(events) == 0 {
+		return nil
+	}
+	// Worst case: a dummy around every symbol (4n+1 for 2n events).
+	axis := make(Axis, 0, 2*len(events)+1)
+	if events[0].coord > 0 {
+		axis = append(axis, DummyToken())
+	}
+	for i, ev := range events {
+		axis = append(axis, Token{Label: ev.label, Kind: ev.kind})
+		if i+1 < len(events) && events[i+1].coord != ev.coord {
+			axis = append(axis, DummyToken())
+		}
+	}
+	if events[len(events)-1].coord < maxCoord {
+		axis = append(axis, DummyToken())
+	}
+	return axis
+}
+
+// Convert builds the 2D BE-string of a symbolic image. This is Algorithm 1
+// of the paper (Convert-2D-Be-String): O(n log n) time dominated by the
+// sort, O(n) space.
+func Convert(img Image) (BEString, error) {
+	if err := img.Validate(); err != nil {
+		return BEString{}, fmt.Errorf("convert: %w", err)
+	}
+	xs := make([]boundaryEvent, 0, 2*len(img.Objects))
+	ys := make([]boundaryEvent, 0, 2*len(img.Objects))
+	for _, o := range img.Objects {
+		xs = append(xs,
+			boundaryEvent{coord: o.Box.X0, label: o.Label, kind: Begin},
+			boundaryEvent{coord: o.Box.X1, label: o.Label, kind: End},
+		)
+		ys = append(ys,
+			boundaryEvent{coord: o.Box.Y0, label: o.Label, kind: Begin},
+			boundaryEvent{coord: o.Box.Y1, label: o.Label, kind: End},
+		)
+	}
+	sortEvents(xs)
+	sortEvents(ys)
+	return BEString{
+		X: buildAxis(xs, img.XMax),
+		Y: buildAxis(ys, img.YMax),
+	}, nil
+}
+
+// MustConvert is Convert for known-valid images (tests, examples); it
+// panics on error.
+func MustConvert(img Image) BEString {
+	be, err := Convert(img)
+	if err != nil {
+		panic(err)
+	}
+	return be
+}
+
+// Rotate90CW returns the BE-string of the image rotated 90 degrees
+// clockwise, computed purely on the strings: the new x-axis is the reversed
+// old y-axis (with begin/end flipped) and the new y-axis is the old x-axis.
+// Under rotation (x,y) -> (ymax-y, x).
+func (b BEString) Rotate90CW() BEString {
+	return BEString{X: b.Y.Reverse(), Y: b.X.Clone()}
+}
+
+// Rotate180 returns the BE-string of the image rotated 180 degrees:
+// both axes reversed.
+func (b BEString) Rotate180() BEString {
+	return BEString{X: b.X.Reverse(), Y: b.Y.Reverse()}
+}
+
+// Rotate270CW returns the BE-string of the image rotated 270 degrees
+// clockwise: (x,y) -> (y, xmax-x).
+func (b BEString) Rotate270CW() BEString {
+	return BEString{X: b.Y.Clone(), Y: b.X.Reverse()}
+}
+
+// ReflectXAxis returns the BE-string of the image mirrored across the
+// horizontal axis (vertical flip): the y-axis string reverses.
+func (b BEString) ReflectXAxis() BEString {
+	return BEString{X: b.X.Clone(), Y: b.Y.Reverse()}
+}
+
+// ReflectYAxis returns the BE-string of the image mirrored across the
+// vertical axis (horizontal flip): the x-axis string reverses.
+func (b BEString) ReflectYAxis() BEString {
+	return BEString{X: b.X.Reverse(), Y: b.Y.Clone()}
+}
+
+// Transform enumerates the eight symmetries of the square (identity, three
+// rotations, two axis reflections, two diagonal reflections composed from
+// rotation+reflection).
+type Transform uint8
+
+// The eight linear transformations supported on strings. The paper's
+// section 5 names rotations by 90/180/270 degrees and reflections on the x-
+// or y-axis; the two diagonal reflections complete the dihedral group and
+// come for free by composition.
+const (
+	Identity Transform = iota
+	Rot90
+	Rot180
+	Rot270
+	FlipX
+	FlipY
+	FlipDiag     // transpose: Rot90 then FlipY
+	FlipAntiDiag // anti-transpose: Rot270 then FlipY
+)
+
+// AllTransforms lists the full dihedral group D4 in a stable order.
+var AllTransforms = []Transform{
+	Identity, Rot90, Rot180, Rot270, FlipX, FlipY, FlipDiag, FlipAntiDiag,
+}
+
+// String names the transform.
+func (t Transform) String() string {
+	switch t {
+	case Identity:
+		return "identity"
+	case Rot90:
+		return "rot90"
+	case Rot180:
+		return "rot180"
+	case Rot270:
+		return "rot270"
+	case FlipX:
+		return "flip-x"
+	case FlipY:
+		return "flip-y"
+	case FlipDiag:
+		return "flip-diag"
+	case FlipAntiDiag:
+		return "flip-antidiag"
+	default:
+		return fmt.Sprintf("Transform(%d)", uint8(t))
+	}
+}
+
+// Apply returns the BE-string transformed by t.
+func (b BEString) Apply(t Transform) BEString {
+	switch t {
+	case Identity:
+		return b.Clone()
+	case Rot90:
+		return b.Rotate90CW()
+	case Rot180:
+		return b.Rotate180()
+	case Rot270:
+		return b.Rotate270CW()
+	case FlipX:
+		return b.ReflectXAxis()
+	case FlipY:
+		return b.ReflectYAxis()
+	case FlipDiag:
+		return b.Rotate90CW().ReflectYAxis()
+	case FlipAntiDiag:
+		return b.Rotate270CW().ReflectYAxis()
+	default:
+		return b.Clone()
+	}
+}
+
+// ApplyToImage returns the image transformed by t (the coordinate-space
+// counterpart of Apply, used to cross-validate the string transforms).
+func ApplyToImage(img Image, t Transform) Image {
+	switch t {
+	case Identity:
+		return img.Clone()
+	case Rot90:
+		return img.Rotate90CW()
+	case Rot180:
+		return img.Rotate180()
+	case Rot270:
+		return img.Rotate270CW()
+	case FlipX:
+		return img.ReflectXAxis()
+	case FlipY:
+		return img.ReflectYAxis()
+	case FlipDiag:
+		return img.Rotate90CW().ReflectYAxis()
+	case FlipAntiDiag:
+		return img.Rotate270CW().ReflectYAxis()
+	default:
+		return img.Clone()
+	}
+}

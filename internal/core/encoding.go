@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MarshalText renders the BE-string as "x-axis | y-axis" (Token.String
+// format per axis). It implements encoding.TextMarshaler.
+func (b BEString) MarshalText() ([]byte, error) {
+	return []byte(b.X.String() + " | " + b.Y.String()), nil
+}
+
+// UnmarshalText parses the MarshalText format. It implements
+// encoding.TextUnmarshaler.
+func (b *BEString) UnmarshalText(text []byte) error {
+	parsed, err := ParseBEString(string(text))
+	if err != nil {
+		return err
+	}
+	*b = parsed
+	return nil
+}
+
+// ParseBEString parses "x-axis | y-axis" text into a BEString. Surrounding
+// parentheses (the BEString.String rendering) are tolerated.
+func ParseBEString(s string) (BEString, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	parts := strings.Split(s, "|")
+	if len(parts) != 2 {
+		return BEString{}, fmt.Errorf("parse BE-string: want exactly one %q axis separator, got %d parts", "|", len(parts))
+	}
+	x, err := ParseAxis(parts[0])
+	if err != nil {
+		return BEString{}, fmt.Errorf("parse BE-string x-axis: %w", err)
+	}
+	y, err := ParseAxis(parts[1])
+	if err != nil {
+		return BEString{}, fmt.Errorf("parse BE-string y-axis: %w", err)
+	}
+	return BEString{X: x, Y: y}, nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestBEStringTextRoundTrip(t *testing.T) {
+	f := func(seed uint8) bool {
+		be := MustConvert(randomImageForQuick(int(seed)))
+		text, err := be.MarshalText()
+		if err != nil {
+			return false
+		}
+		var parsed BEString
+		if err := parsed.UnmarshalText(text); err != nil {
+			return false
+		}
+		return parsed.Equal(be)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseBEStringTolerant(t *testing.T) {
+	be := MustConvert(Figure1Image())
+	parsed, err := ParseBEString(be.String()) // parenthesised rendering
+	if err != nil {
+		t.Fatalf("ParseBEString: %v", err)
+	}
+	if !parsed.Equal(be) {
+		t.Errorf("got %v, want %v", parsed, be)
+	}
+}
+
+func TestParseBEStringErrors(t *testing.T) {
+	for _, s := range []string{"", "A+ A-", "a | b | c", "?? | ??"} {
+		if _, err := ParseBEString(s); err == nil {
+			t.Errorf("ParseBEString(%q): expected error", s)
+		}
+	}
+}
+
+func TestImageJSONRoundTrip(t *testing.T) {
+	img := Figure1Image()
+	data, err := json.Marshal(img)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Image
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !imagesEqual(img, back) {
+		t.Errorf("JSON round trip: got %+v, want %+v", back, img)
+	}
+}
+
+func TestBEStringJSONRoundTrip(t *testing.T) {
+	be := MustConvert(Figure1Image())
+	data, err := json.Marshal(be)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back BEString
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !back.Equal(be) {
+		t.Errorf("JSON round trip mismatch: got %v, want %v", back, be)
+	}
+}

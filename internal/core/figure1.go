@@ -1,0 +1,37 @@
+package core
+
+// Figure1Image returns the three-object example image of the paper's
+// Figure 1 (section 3.1). The printed coordinates are not given in the
+// paper; these are reconstructed so that the resulting 2D BE-string matches
+// the one printed under the figure:
+//
+//	x-axis: E A+ E B+ E A- C+ E C- E B- E
+//	y-axis: E B+ E A+ E B- C+ E C- E A- E
+//
+// i.e. on the x-axis the end boundary of A coincides with the begin
+// boundary of C (no dummy between them), and on the y-axis the end boundary
+// of B coincides with the begin boundary of C — exactly the two
+// coincidences the paper calls out.
+func Figure1Image() Image {
+	return NewImage(6, 6,
+		Object{Label: "A", Box: NewRect(1, 2, 3, 5)},
+		Object{Label: "B", Box: NewRect(2, 1, 5, 3)},
+		Object{Label: "C", Box: NewRect(3, 3, 4, 4)},
+	)
+}
+
+// Figure1BEString returns the expected 2D BE-string of Figure 1 as printed
+// in the paper (experiment E1).
+func Figure1BEString() BEString {
+	e := DummyToken()
+	return BEString{
+		X: Axis{
+			e, BeginToken("A"), e, BeginToken("B"), e,
+			EndToken("A"), BeginToken("C"), e, EndToken("C"), e, EndToken("B"), e,
+		},
+		Y: Axis{
+			e, BeginToken("B"), e, BeginToken("A"), e,
+			EndToken("B"), BeginToken("C"), e, EndToken("C"), e, EndToken("A"), e,
+		},
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseAxis checks the axis parser never panics and that anything it
+// accepts round-trips through String.
+func FuzzParseAxis(f *testing.F) {
+	f.Add("E A+ E A- E")
+	f.Add("A+ B+ A- = C+")
+	f.Add("")
+	f.Add("E")
+	f.Add("house+ tree- E x+")
+	f.Fuzz(func(t *testing.T, s string) {
+		axis, err := ParseAxis(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseAxis(axis.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", axis.String(), err)
+		}
+		if !back.Equal(axis) {
+			t.Fatalf("round trip changed axis: %q -> %q", axis.String(), back.String())
+		}
+	})
+}
+
+// FuzzParseBEString checks the full-string parser likewise.
+func FuzzParseBEString(f *testing.F) {
+	f.Add("E A+ E A- E | E A+ E A- E")
+	f.Add("(A+ A- | A+ A-)")
+	f.Add("|")
+	f.Add("a|b|c")
+	f.Fuzz(func(t *testing.T, s string) {
+		be, err := ParseBEString(s)
+		if err != nil {
+			return
+		}
+		text, err := be.MarshalText()
+		if err != nil {
+			t.Fatalf("marshal of accepted input failed: %v", err)
+		}
+		var back BEString
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("unmarshal of %q failed: %v", text, err)
+		}
+		if !back.Equal(be) {
+			t.Fatalf("round trip changed BE-string")
+		}
+	})
+}
+
+// FuzzConvert builds images from fuzzer-chosen geometry and checks that
+// any accepted image converts to a valid BE-string commuting with a
+// rotation.
+func FuzzConvert(f *testing.F) {
+	f.Add(10, 10, 1, 2, 3, 4, 5, 6, 7, 8)
+	f.Add(6, 6, 1, 2, 3, 5, 2, 1, 5, 3)
+	f.Fuzz(func(t *testing.T, xmax, ymax, ax0, ay0, ax1, ay1, bx0, by0, bx1, by1 int) {
+		img := Image{
+			XMax: xmax, YMax: ymax,
+			Objects: []Object{
+				{Label: "A", Box: Rect{ax0, ay0, ax1, ay1}},
+				{Label: "B", Box: Rect{bx0, by0, bx1, by1}},
+			},
+		}
+		be, err := Convert(img)
+		if err != nil {
+			return // invalid geometry is rejected, not mishandled
+		}
+		if err := be.Validate(); err != nil {
+			t.Fatalf("accepted image produced invalid BE-string: %v", err)
+		}
+		rot := be.Rotate90CW()
+		want := MustConvert(img.Rotate90CW())
+		if !rot.Equal(want) {
+			t.Fatalf("rotation does not commute for %+v", img)
+		}
+	})
+}
+
+// FuzzAxisValidate ensures Validate is total on arbitrary token soup.
+func FuzzAxisValidate(f *testing.F) {
+	f.Add("E A+ A-", 3)
+	f.Fuzz(func(t *testing.T, labels string, pattern int) {
+		fields := strings.Fields(labels)
+		var axis Axis
+		for i, l := range fields {
+			switch (pattern >> (i % 30)) & 3 {
+			case 0:
+				axis = append(axis, DummyToken())
+			case 1:
+				axis = append(axis, BeginToken(l))
+			case 2:
+				axis = append(axis, EndToken(l))
+			default:
+				axis = append(axis, Token{Label: l, Kind: Kind(pattern % 5)})
+			}
+		}
+		_ = axis.Validate() // must not panic
+	})
+}

@@ -1,0 +1,123 @@
+// Package core implements the 2D BE-string spatial representation model of
+// Wang (ICDCS 2001): symbolic images whose icon objects are represented by
+// the begin/end boundaries of their MBRs projected on the x- and y-axis,
+// with dummy objects marking distinct boundary projections.
+package core
+
+import "fmt"
+
+// Point is an integer 2-D coordinate. The model is purely ordinal, so
+// integer coordinates lose no generality: only the relative order (and
+// coincidence) of MBR boundaries matters.
+type Point struct {
+	X int
+	Y int
+}
+
+// Rect is a minimum bounding rectangle (MBR) in image coordinates.
+// It spans [X0, X1] on the x-axis and [Y0, Y1] on the y-axis, with
+// X0 <= X1 and Y0 <= Y1. The rectangle is closed: a zero-width or
+// zero-height rectangle is permitted (a degenerate icon).
+type Rect struct {
+	X0 int `json:"x0"`
+	Y0 int `json:"y0"`
+	X1 int `json:"x1"`
+	Y1 int `json:"y1"`
+}
+
+// NewRect returns the MBR spanning the two corner points in any order.
+func NewRect(x0, y0, x1, y1 int) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}
+}
+
+// Valid reports whether the rectangle is well formed (non-inverted).
+func (r Rect) Valid() bool {
+	return r.X0 <= r.X1 && r.Y0 <= r.Y1
+}
+
+// Width returns the x-extent of the rectangle.
+func (r Rect) Width() int { return r.X1 - r.X0 }
+
+// Height returns the y-extent of the rectangle.
+func (r Rect) Height() int { return r.Y1 - r.Y0 }
+
+// Area returns Width*Height.
+func (r Rect) Area() int { return r.Width() * r.Height() }
+
+// Center returns the centroid of the rectangle, rounded down.
+func (r Rect) Center() Point {
+	return Point{X: (r.X0 + r.X1) / 2, Y: (r.Y0 + r.Y1) / 2}
+}
+
+// Contains reports whether r fully contains s (boundaries may touch).
+func (r Rect) Contains(s Rect) bool {
+	return r.X0 <= s.X0 && s.X1 <= r.X1 && r.Y0 <= s.Y0 && s.Y1 <= r.Y1
+}
+
+// ContainsPoint reports whether the point lies inside or on the boundary.
+func (r Rect) ContainsPoint(p Point) bool {
+	return r.X0 <= p.X && p.X <= r.X1 && r.Y0 <= p.Y && p.Y <= r.Y1
+}
+
+// Intersects reports whether the two rectangles share any point
+// (touching boundaries count as intersection).
+func (r Rect) Intersects(s Rect) bool {
+	return r.X0 <= s.X1 && s.X0 <= r.X1 && r.Y0 <= s.Y1 && s.Y0 <= r.Y1
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		X0: min(r.X0, s.X0),
+		Y0: min(r.Y0, s.Y0),
+		X1: max(r.X1, s.X1),
+		Y1: max(r.Y1, s.Y1),
+	}
+}
+
+// Translate returns r shifted by (dx, dy).
+func (r Rect) Translate(dx, dy int) Rect {
+	return Rect{X0: r.X0 + dx, Y0: r.Y0 + dy, X1: r.X1 + dx, Y1: r.Y1 + dy}
+}
+
+// String renders the rectangle as "[x0,y0 x1,y1]".
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d %d,%d]", r.X0, r.Y0, r.X1, r.Y1)
+}
+
+// Rotate90CW rotates the rectangle 90 degrees clockwise inside an image of
+// the given height (ymax): (x, y) -> (ymax-y, x). The resulting rectangle
+// lives in an image whose width is the old height and vice versa.
+func (r Rect) Rotate90CW(ymax int) Rect {
+	return NewRect(ymax-r.Y1, r.X0, ymax-r.Y0, r.X1)
+}
+
+// Rotate180 rotates the rectangle 180 degrees inside an image of the given
+// size: (x, y) -> (xmax-x, ymax-y).
+func (r Rect) Rotate180(xmax, ymax int) Rect {
+	return NewRect(xmax-r.X1, ymax-r.Y1, xmax-r.X0, ymax-r.Y0)
+}
+
+// Rotate270CW rotates the rectangle 270 degrees clockwise (90 CCW) inside an
+// image of the given width (xmax): (x, y) -> (y, xmax-x).
+func (r Rect) Rotate270CW(xmax int) Rect {
+	return NewRect(r.Y0, xmax-r.X1, r.Y1, xmax-r.X0)
+}
+
+// ReflectXAxis mirrors the rectangle across the horizontal axis (vertical
+// flip) inside an image of the given height: (x, y) -> (x, ymax-y).
+func (r Rect) ReflectXAxis(ymax int) Rect {
+	return NewRect(r.X0, ymax-r.Y1, r.X1, ymax-r.Y0)
+}
+
+// ReflectYAxis mirrors the rectangle across the vertical axis (horizontal
+// flip) inside an image of the given width: (x, y) -> (xmax-x, y).
+func (r Rect) ReflectYAxis(xmax int) Rect {
+	return NewRect(xmax-r.X1, r.Y0, xmax-r.X0, r.Y1)
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectNormalizes(t *testing.T) {
+	tests := []struct {
+		name           string
+		x0, y0, x1, y1 int
+		want           Rect
+	}{
+		{"already ordered", 1, 2, 3, 4, Rect{1, 2, 3, 4}},
+		{"x inverted", 3, 2, 1, 4, Rect{1, 2, 3, 4}},
+		{"y inverted", 1, 4, 3, 2, Rect{1, 2, 3, 4}},
+		{"both inverted", 3, 4, 1, 2, Rect{1, 2, 3, 4}},
+		{"degenerate point", 5, 5, 5, 5, Rect{5, 5, 5, 5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := NewRect(tt.x0, tt.y0, tt.x1, tt.y1)
+			if got != tt.want {
+				t.Errorf("NewRect(%d,%d,%d,%d) = %v, want %v", tt.x0, tt.y0, tt.x1, tt.y1, got, tt.want)
+			}
+			if !got.Valid() {
+				t.Errorf("NewRect result %v not Valid", got)
+			}
+		})
+	}
+}
+
+func TestRectMeasures(t *testing.T) {
+	r := NewRect(1, 2, 4, 8)
+	if got := r.Width(); got != 3 {
+		t.Errorf("Width = %d, want 3", got)
+	}
+	if got := r.Height(); got != 6 {
+		t.Errorf("Height = %d, want 6", got)
+	}
+	if got := r.Area(); got != 18 {
+		t.Errorf("Area = %d, want 18", got)
+	}
+	if got := r.Center(); got != (Point{2, 5}) {
+		t.Errorf("Center = %v, want {2 5}", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	outer := NewRect(0, 0, 10, 10)
+	tests := []struct {
+		name  string
+		inner Rect
+		want  bool
+	}{
+		{"strictly inside", NewRect(2, 2, 8, 8), true},
+		{"equal", outer, true},
+		{"touching edges", NewRect(0, 0, 10, 5), true},
+		{"overhang right", NewRect(5, 5, 11, 8), false},
+		{"disjoint", NewRect(20, 20, 30, 30), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := outer.Contains(tt.inner); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.inner, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(0, 0, 5, 5)
+	tests := []struct {
+		name string
+		b    Rect
+		want bool
+	}{
+		{"overlap", NewRect(3, 3, 8, 8), true},
+		{"touch edge", NewRect(5, 0, 9, 5), true},
+		{"touch corner", NewRect(5, 5, 9, 9), true},
+		{"disjoint x", NewRect(6, 0, 9, 5), false},
+		{"disjoint y", NewRect(0, 6, 5, 9), false},
+		{"contained", NewRect(1, 1, 2, 2), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.Intersects(tt.b); got != tt.want {
+				t.Errorf("Intersects(%v) = %v, want %v", tt.b, got, tt.want)
+			}
+			if got := tt.b.Intersects(a); got != tt.want {
+				t.Errorf("Intersects not symmetric for %v", tt.b)
+			}
+		})
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	b := NewRect(5, 1, 7, 9)
+	got := a.Union(b)
+	want := NewRect(0, 0, 7, 9)
+	if got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if !got.Contains(a) || !got.Contains(b) {
+		t.Errorf("Union %v does not contain inputs", got)
+	}
+}
+
+func TestRectTranslate(t *testing.T) {
+	r := NewRect(1, 1, 3, 3).Translate(2, -1)
+	want := Rect{3, 0, 5, 2}
+	if r != want {
+		t.Errorf("Translate = %v, want %v", r, want)
+	}
+}
+
+func TestRotate90FourTimesIsIdentity(t *testing.T) {
+	// Rotating a rect four times by 90 degrees inside a square canvas must
+	// return the original rect.
+	const size = 20
+	r := NewRect(2, 3, 7, 11)
+	got := r.
+		Rotate90CW(size).
+		Rotate90CW(size).
+		Rotate90CW(size).
+		Rotate90CW(size)
+	if got != r {
+		t.Errorf("four 90-degree rotations = %v, want %v", got, r)
+	}
+}
+
+func TestRotate180EqualsTwoQuarterTurns(t *testing.T) {
+	const w, h = 30, 20
+	r := NewRect(4, 5, 9, 13)
+	two := r.Rotate90CW(h).Rotate90CW(w)
+	direct := r.Rotate180(w, h)
+	if two != direct {
+		t.Errorf("two quarter turns %v != Rotate180 %v", two, direct)
+	}
+}
+
+func TestReflectTwiceIsIdentity(t *testing.T) {
+	const w, h = 17, 23
+	r := NewRect(3, 4, 10, 12)
+	if got := r.ReflectXAxis(h).ReflectXAxis(h); got != r {
+		t.Errorf("double x-reflection = %v, want %v", got, r)
+	}
+	if got := r.ReflectYAxis(w).ReflectYAxis(w); got != r {
+		t.Errorf("double y-reflection = %v, want %v", got, r)
+	}
+}
+
+func TestRotationPreservesArea(t *testing.T) {
+	f := func(x0, y0, x1, y1 uint8) bool {
+		r := NewRect(int(x0), int(y0), int(x1), int(y1))
+		const m = 300 // canvas larger than any uint8 coordinate
+		return r.Rotate90CW(m).Area() == r.Area() &&
+			r.Rotate180(m, m).Area() == r.Area() &&
+			r.Rotate270CW(m).Area() == r.Area() &&
+			r.ReflectXAxis(m).Area() == r.Area() &&
+			r.ReflectYAxis(m).Area() == r.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotate270IsInverseOfRotate90(t *testing.T) {
+	f := func(x0, y0, x1, y1 uint8) bool {
+		r := NewRect(int(x0), int(y0), int(x1), int(y1))
+		const w, h = 300, 400
+		// Rotate90 maps into a canvas of width h; Rotate270 with xmax=h maps back.
+		return r.Rotate90CW(h).Rotate270CW(h) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainsPointMatchesContains(t *testing.T) {
+	f := func(px, py uint8) bool {
+		r := NewRect(10, 20, 200, 220)
+		p := Point{int(px), int(py)}
+		pointRect := Rect{p.X, p.Y, p.X, p.Y}
+		return r.ContainsPoint(p) == r.Contains(pointRect)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// randomImageForQuick builds a deterministic pseudo-random valid image from
+// a seed, for property-based tests. Object count 1..8, canvas 32x24.
+func randomImageForQuick(seed int) Image {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	const xmax, ymax = 32, 24
+	n := 1 + rng.Intn(8)
+	objs := make([]Object, 0, n)
+	for i := 0; i < n; i++ {
+		x0 := rng.Intn(xmax)
+		y0 := rng.Intn(ymax)
+		x1 := x0 + rng.Intn(xmax-x0+1)
+		y1 := y0 + rng.Intn(ymax-y0+1)
+		objs = append(objs, Object{
+			Label: fmt.Sprintf("O%d", i),
+			Box:   NewRect(x0, y0, x1, y1),
+		})
+	}
+	return NewImage(xmax, ymax, objs...)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Object is one icon object of a symbolic image: a label (the icon class,
+// e.g. "house" or "tree") and the MBR it occupies. Labels are unique within
+// an image; the model, like the whole 2-D string family, identifies objects
+// across images by their label.
+type Object struct {
+	Label string `json:"label"`
+	Box   Rect   `json:"box"`
+}
+
+// Image is a symbolic image: a set of labelled MBRs inside a bounding
+// canvas [0, XMax] x [0, YMax]. XMax/YMax are required by the paper's model
+// to decide whether edge dummy objects are needed.
+type Image struct {
+	XMax    int      `json:"xmax"`
+	YMax    int      `json:"ymax"`
+	Objects []Object `json:"objects"`
+}
+
+// Errors returned by Image validation.
+var (
+	ErrEmptyImage     = errors.New("image has no objects")
+	ErrDuplicateLabel = errors.New("duplicate object label")
+	ErrOutOfBounds    = errors.New("object MBR outside image bounds")
+)
+
+// NewImage returns an image with the given canvas size and objects. The
+// object slice is copied (callers may mutate their slice afterwards).
+func NewImage(xmax, ymax int, objects ...Object) Image {
+	objs := make([]Object, len(objects))
+	copy(objs, objects)
+	return Image{XMax: xmax, YMax: ymax, Objects: objs}
+}
+
+// Validate checks that the image is well formed: positive canvas, at least
+// one object, unique non-empty labels distinct from the dummy symbol, and
+// every MBR valid and inside the canvas.
+func (img Image) Validate() error {
+	if img.XMax <= 0 || img.YMax <= 0 {
+		return fmt.Errorf("image canvas %dx%d: dimensions must be positive", img.XMax, img.YMax)
+	}
+	if len(img.Objects) == 0 {
+		return ErrEmptyImage
+	}
+	seen := make(map[string]bool, len(img.Objects))
+	for i, o := range img.Objects {
+		if o.Label == "" {
+			return fmt.Errorf("object %d: empty label", i)
+		}
+		if o.Label == DummyText {
+			return fmt.Errorf("object %d: label %q collides with the dummy symbol", i, o.Label)
+		}
+		if seen[o.Label] {
+			return fmt.Errorf("object %d (%q): %w", i, o.Label, ErrDuplicateLabel)
+		}
+		seen[o.Label] = true
+		if !o.Box.Valid() {
+			return fmt.Errorf("object %q: inverted MBR %v", o.Label, o.Box)
+		}
+		if o.Box.X0 < 0 || o.Box.Y0 < 0 || o.Box.X1 > img.XMax || o.Box.Y1 > img.YMax {
+			return fmt.Errorf("object %q MBR %v in canvas %dx%d: %w",
+				o.Label, o.Box, img.XMax, img.YMax, ErrOutOfBounds)
+		}
+	}
+	return nil
+}
+
+// Find returns the object with the given label, if present.
+func (img Image) Find(label string) (Object, bool) {
+	for _, o := range img.Objects {
+		if o.Label == label {
+			return o, true
+		}
+	}
+	return Object{}, false
+}
+
+// Labels returns the sorted list of object labels in the image.
+func (img Image) Labels() []string {
+	labels := make([]string, len(img.Objects))
+	for i, o := range img.Objects {
+		labels[i] = o.Label
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// Clone returns a deep copy of the image.
+func (img Image) Clone() Image {
+	return NewImage(img.XMax, img.YMax, img.Objects...)
+}
+
+// WithObject returns a copy of the image with the object appended.
+func (img Image) WithObject(o Object) Image {
+	out := img.Clone()
+	out.Objects = append(out.Objects, o)
+	return out
+}
+
+// WithoutObject returns a copy of the image with the labelled object
+// removed, and whether it was present.
+func (img Image) WithoutObject(label string) (Image, bool) {
+	out := Image{XMax: img.XMax, YMax: img.YMax}
+	found := false
+	for _, o := range img.Objects {
+		if o.Label == label {
+			found = true
+			continue
+		}
+		out.Objects = append(out.Objects, o)
+	}
+	return out, found
+}
+
+// Rotate90CW returns the image rotated 90 degrees clockwise; the canvas
+// dimensions swap.
+func (img Image) Rotate90CW() Image {
+	out := Image{XMax: img.YMax, YMax: img.XMax, Objects: make([]Object, len(img.Objects))}
+	for i, o := range img.Objects {
+		out.Objects[i] = Object{Label: o.Label, Box: o.Box.Rotate90CW(img.YMax)}
+	}
+	return out
+}
+
+// Rotate180 returns the image rotated 180 degrees.
+func (img Image) Rotate180() Image {
+	out := Image{XMax: img.XMax, YMax: img.YMax, Objects: make([]Object, len(img.Objects))}
+	for i, o := range img.Objects {
+		out.Objects[i] = Object{Label: o.Label, Box: o.Box.Rotate180(img.XMax, img.YMax)}
+	}
+	return out
+}
+
+// Rotate270CW returns the image rotated 270 degrees clockwise; the canvas
+// dimensions swap.
+func (img Image) Rotate270CW() Image {
+	out := Image{XMax: img.YMax, YMax: img.XMax, Objects: make([]Object, len(img.Objects))}
+	for i, o := range img.Objects {
+		out.Objects[i] = Object{Label: o.Label, Box: o.Box.Rotate270CW(img.XMax)}
+	}
+	return out
+}
+
+// ReflectXAxis returns the image mirrored across the horizontal axis
+// (vertical flip).
+func (img Image) ReflectXAxis() Image {
+	out := Image{XMax: img.XMax, YMax: img.YMax, Objects: make([]Object, len(img.Objects))}
+	for i, o := range img.Objects {
+		out.Objects[i] = Object{Label: o.Label, Box: o.Box.ReflectXAxis(img.YMax)}
+	}
+	return out
+}
+
+// ReflectYAxis returns the image mirrored across the vertical axis
+// (horizontal flip).
+func (img Image) ReflectYAxis() Image {
+	out := Image{XMax: img.XMax, YMax: img.YMax, Objects: make([]Object, len(img.Objects))}
+	for i, o := range img.Objects {
+		out.Objects[i] = Object{Label: o.Label, Box: o.Box.ReflectYAxis(img.XMax)}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImageValidate(t *testing.T) {
+	valid := Figure1Image()
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("Figure1Image should validate: %v", err)
+	}
+}
+
+func TestImageFind(t *testing.T) {
+	img := Figure1Image()
+	o, ok := img.Find("B")
+	if !ok || o.Label != "B" {
+		t.Errorf("Find(B) = %v, %v", o, ok)
+	}
+	if _, ok := img.Find("Z"); ok {
+		t.Error("Find(Z) should be absent")
+	}
+}
+
+func TestImageLabelsSorted(t *testing.T) {
+	img := NewImage(10, 10,
+		Object{Label: "zebra", Box: NewRect(0, 0, 1, 1)},
+		Object{Label: "apple", Box: NewRect(2, 2, 3, 3)},
+	)
+	labels := img.Labels()
+	if len(labels) != 2 || labels[0] != "apple" || labels[1] != "zebra" {
+		t.Errorf("Labels = %v, want sorted [apple zebra]", labels)
+	}
+}
+
+func TestImageCloneIndependent(t *testing.T) {
+	img := Figure1Image()
+	clone := img.Clone()
+	clone.Objects[0].Label = "mutated"
+	if img.Objects[0].Label != "A" {
+		t.Error("Clone shares object storage")
+	}
+}
+
+func TestWithObjectAndWithout(t *testing.T) {
+	img := Figure1Image()
+	bigger := img.WithObject(Object{Label: "D", Box: NewRect(0, 0, 1, 1)})
+	if len(bigger.Objects) != 4 {
+		t.Errorf("WithObject: %d objects, want 4", len(bigger.Objects))
+	}
+	if len(img.Objects) != 3 {
+		t.Error("WithObject mutated the receiver")
+	}
+	smaller, found := bigger.WithoutObject("B")
+	if !found || len(smaller.Objects) != 3 {
+		t.Errorf("WithoutObject(B): found=%v n=%d", found, len(smaller.Objects))
+	}
+	if _, ok := smaller.Find("B"); ok {
+		t.Error("B still present after WithoutObject")
+	}
+	_, found = bigger.WithoutObject("missing")
+	if found {
+		t.Error("WithoutObject(missing) reported found")
+	}
+}
+
+func TestImageTransformsPreserveValidity(t *testing.T) {
+	for _, tr := range AllTransforms {
+		tr := tr
+		t.Run(tr.String(), func(t *testing.T) {
+			f := func(seed uint8) bool {
+				img := ApplyToImage(randomImageForQuick(int(seed)), tr)
+				return img.Validate() == nil
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestImageRotationRoundTrips(t *testing.T) {
+	f := func(seed uint8) bool {
+		img := randomImageForQuick(int(seed))
+		r4 := img.Rotate90CW().Rotate90CW().Rotate90CW().Rotate90CW()
+		back := img.Rotate90CW().Rotate270CW()
+		return imagesEqual(img, r4) && imagesEqual(img, back) &&
+			imagesEqual(img, img.Rotate180().Rotate180()) &&
+			imagesEqual(img, img.ReflectXAxis().ReflectXAxis()) &&
+			imagesEqual(img, img.ReflectYAxis().ReflectYAxis())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func imagesEqual(a, b Image) bool {
+	if a.XMax != b.XMax || a.YMax != b.YMax || len(a.Objects) != len(b.Objects) {
+		return false
+	}
+	for i := range a.Objects {
+		if a.Objects[i] != b.Objects[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRotationSwapsCanvas(t *testing.T) {
+	img := NewImage(30, 20, Object{Label: "A", Box: NewRect(1, 2, 3, 4)})
+	rot := img.Rotate90CW()
+	if rot.XMax != 20 || rot.YMax != 30 {
+		t.Errorf("rotated canvas = %dx%d, want 20x30", rot.XMax, rot.YMax)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Indexed is a symbolic image kept alongside its 2D BE-string, supporting
+// incremental object insertion and deletion without a full reconversion.
+// The paper (end of section 3.2) observes that storing the BE-string with
+// its MBR coordinates lets a new object's boundaries be placed by binary
+// search, and a dropped object be removed by a sequential scan with local
+// dummy-object cleanup. Indexed implements exactly that: the sorted
+// boundary-event lists are the coordinate-annotated string; the symbolic
+// axes are re-materialised from them in O(n) after each splice, so an
+// insert costs a binary search plus an O(n) splice instead of the
+// O(n log n) full sort of Convert.
+//
+// Indexed is not safe for concurrent use; wrap it (as internal/imagedb
+// does) when sharing across goroutines.
+type Indexed struct {
+	xmax, ymax int
+	objects    []Object
+	xe, ye     []boundaryEvent // sorted by (coord, label, kind)
+	be         BEString        // materialised string, kept in sync
+}
+
+// NewIndexed builds an Indexed from a valid image.
+func NewIndexed(img Image) (*Indexed, error) {
+	if err := img.Validate(); err != nil {
+		return nil, fmt.Errorf("indexed: %w", err)
+	}
+	ix := &Indexed{
+		xmax:    img.XMax,
+		ymax:    img.YMax,
+		objects: make([]Object, len(img.Objects)),
+	}
+	copy(ix.objects, img.Objects)
+	ix.xe = make([]boundaryEvent, 0, 2*len(img.Objects))
+	ix.ye = make([]boundaryEvent, 0, 2*len(img.Objects))
+	for _, o := range ix.objects {
+		ix.xe = append(ix.xe,
+			boundaryEvent{coord: o.Box.X0, label: o.Label, kind: Begin},
+			boundaryEvent{coord: o.Box.X1, label: o.Label, kind: End})
+		ix.ye = append(ix.ye,
+			boundaryEvent{coord: o.Box.Y0, label: o.Label, kind: Begin},
+			boundaryEvent{coord: o.Box.Y1, label: o.Label, kind: End})
+	}
+	sortEvents(ix.xe)
+	sortEvents(ix.ye)
+	ix.rematerialize()
+	return ix, nil
+}
+
+// rematerialize rebuilds both symbolic axes from the sorted event lists.
+func (ix *Indexed) rematerialize() {
+	ix.be = BEString{
+		X: buildAxis(ix.xe, ix.xmax),
+		Y: buildAxis(ix.ye, ix.ymax),
+	}
+}
+
+// BE returns a copy of the current 2D BE-string.
+func (ix *Indexed) BE() BEString { return ix.be.Clone() }
+
+// Image returns a copy of the current symbolic image.
+func (ix *Indexed) Image() Image {
+	return NewImage(ix.xmax, ix.ymax, ix.objects...)
+}
+
+// Len returns the current number of objects.
+func (ix *Indexed) Len() int { return len(ix.objects) }
+
+// eventLess orders events by (coord, label, kind) — the binary-search key.
+func eventLess(a, b boundaryEvent) bool {
+	if a.coord != b.coord {
+		return a.coord < b.coord
+	}
+	if a.label != b.label {
+		return a.label < b.label
+	}
+	return a.kind < b.kind
+}
+
+// insertEvent splices ev into the sorted slice using binary search.
+func insertEvent(events []boundaryEvent, ev boundaryEvent) []boundaryEvent {
+	i := sort.Search(len(events), func(k int) bool { return !eventLess(events[k], ev) })
+	events = append(events, boundaryEvent{})
+	copy(events[i+1:], events[i:])
+	events[i] = ev
+	return events
+}
+
+// removeEvents drops every event carrying the given label (a sequential
+// scan, as the paper prescribes for deletion).
+func removeEvents(events []boundaryEvent, label string) []boundaryEvent {
+	out := events[:0]
+	for _, ev := range events {
+		if ev.label != label {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Insert adds a new object, splicing its four boundaries into the strings.
+func (ix *Indexed) Insert(o Object) error {
+	if o.Label == "" || o.Label == DummyText {
+		return fmt.Errorf("insert: invalid label %q", o.Label)
+	}
+	for _, existing := range ix.objects {
+		if existing.Label == o.Label {
+			return fmt.Errorf("insert %q: %w", o.Label, ErrDuplicateLabel)
+		}
+	}
+	if !o.Box.Valid() {
+		return fmt.Errorf("insert %q: inverted MBR %v", o.Label, o.Box)
+	}
+	if o.Box.X0 < 0 || o.Box.Y0 < 0 || o.Box.X1 > ix.xmax || o.Box.Y1 > ix.ymax {
+		return fmt.Errorf("insert %q MBR %v in canvas %dx%d: %w",
+			o.Label, o.Box, ix.xmax, ix.ymax, ErrOutOfBounds)
+	}
+	ix.xe = insertEvent(ix.xe, boundaryEvent{coord: o.Box.X0, label: o.Label, kind: Begin})
+	ix.xe = insertEvent(ix.xe, boundaryEvent{coord: o.Box.X1, label: o.Label, kind: End})
+	ix.ye = insertEvent(ix.ye, boundaryEvent{coord: o.Box.Y0, label: o.Label, kind: Begin})
+	ix.ye = insertEvent(ix.ye, boundaryEvent{coord: o.Box.Y1, label: o.Label, kind: End})
+	ix.objects = append(ix.objects, o)
+	ix.rematerialize()
+	return nil
+}
+
+// Delete removes the labelled object and eliminates the dummy objects its
+// departure made redundant.
+func (ix *Indexed) Delete(label string) error {
+	found := false
+	for i, o := range ix.objects {
+		if o.Label == label {
+			ix.objects = append(ix.objects[:i], ix.objects[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("delete: object %q not found", label)
+	}
+	if len(ix.objects) == 0 {
+		return fmt.Errorf("delete %q: image must retain at least one object", label)
+	}
+	ix.xe = removeEvents(ix.xe, label)
+	ix.ye = removeEvents(ix.ye, label)
+	ix.rematerialize()
+	return nil
+}

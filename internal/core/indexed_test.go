@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexedMatchesConvert(t *testing.T) {
+	img := Figure1Image()
+	ix, err := NewIndexed(img)
+	if err != nil {
+		t.Fatalf("NewIndexed: %v", err)
+	}
+	if got, want := ix.BE(), MustConvert(img); !got.Equal(want) {
+		t.Errorf("indexed BE = %v, want %v", got, want)
+	}
+	if ix.Len() != 3 {
+		t.Errorf("Len = %d, want 3", ix.Len())
+	}
+}
+
+func TestIndexedInsertEqualsRebuild(t *testing.T) {
+	// Property (experiment E8): incremental insert produces the identical
+	// BE-string to a full reconversion of the grown image.
+	f := func(seed uint8) bool {
+		img := randomImageForQuick(int(seed))
+		ix, err := NewIndexed(img)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(int64(seed) + 1000))
+		x0, y0 := rng.Intn(img.XMax), rng.Intn(img.YMax)
+		o := Object{
+			Label: "NEW",
+			Box:   NewRect(x0, y0, x0+rng.Intn(img.XMax-x0+1), y0+rng.Intn(img.YMax-y0+1)),
+		}
+		if err := ix.Insert(o); err != nil {
+			return false
+		}
+		want := MustConvert(img.WithObject(o))
+		return ix.BE().Equal(want) && ix.BE().Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexedDeleteEqualsRebuild(t *testing.T) {
+	f := func(seed uint8) bool {
+		img := randomImageForQuick(int(seed))
+		if len(img.Objects) < 2 {
+			return true // deletion must leave at least one object
+		}
+		ix, err := NewIndexed(img)
+		if err != nil {
+			return false
+		}
+		victim := img.Objects[int(seed)%len(img.Objects)].Label
+		if err := ix.Delete(victim); err != nil {
+			return false
+		}
+		shrunk, _ := img.WithoutObject(victim)
+		want := MustConvert(shrunk)
+		return ix.BE().Equal(want) && ix.BE().Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexedInsertDeleteRoundTrip(t *testing.T) {
+	img := Figure1Image()
+	ix, err := NewIndexed(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	original := ix.BE()
+	o := Object{Label: "D", Box: NewRect(0, 0, 2, 6)}
+	if err := ix.Insert(o); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if ix.BE().Equal(original) {
+		t.Error("insert did not change the BE-string")
+	}
+	if err := ix.Delete("D"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if got := ix.BE(); !got.Equal(original) {
+		t.Errorf("insert+delete: got %v, want original %v", got, original)
+	}
+}
+
+func TestIndexedInsertErrors(t *testing.T) {
+	ix, err := NewIndexed(Figure1Image())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		o    Object
+	}{
+		{"duplicate label", Object{Label: "A", Box: NewRect(0, 0, 1, 1)}},
+		{"empty label", Object{Label: "", Box: NewRect(0, 0, 1, 1)}},
+		{"dummy label", Object{Label: "E", Box: NewRect(0, 0, 1, 1)}},
+		{"out of bounds", Object{Label: "D", Box: NewRect(4, 4, 99, 5)}},
+		{"negative", Object{Label: "D", Box: Rect{-1, 0, 2, 2}}},
+		{"inverted", Object{Label: "D", Box: Rect{5, 5, 1, 1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := ix.Insert(tt.o); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if ix.Len() != 3 {
+		t.Errorf("failed inserts mutated state: Len = %d", ix.Len())
+	}
+}
+
+func TestIndexedDeleteErrors(t *testing.T) {
+	ix, err := NewIndexed(NewImage(10, 10, Object{Label: "A", Box: NewRect(1, 1, 3, 3)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete("missing"); err == nil {
+		t.Error("Delete(missing): expected error")
+	}
+	if err := ix.Delete("A"); err == nil {
+		t.Error("deleting the last object should fail")
+	}
+}
+
+func TestIndexedManyOperationsStaysConsistent(t *testing.T) {
+	// Interleave inserts and deletes; after each operation the indexed
+	// string must equal a fresh conversion.
+	rng := rand.New(rand.NewSource(7))
+	img := NewImage(100, 100, Object{Label: "seed", Box: NewRect(10, 10, 20, 20)})
+	ix, err := NewIndexed(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := []string{"seed"}
+	for step := 0; step < 200; step++ {
+		if len(live) > 1 && rng.Intn(3) == 0 {
+			victim := live[rng.Intn(len(live))]
+			if err := ix.Delete(victim); err != nil {
+				t.Fatalf("step %d: delete %q: %v", step, victim, err)
+			}
+			for i, l := range live {
+				if l == victim {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		} else {
+			label := fmt.Sprintf("obj%d", step)
+			x0, y0 := rng.Intn(100), rng.Intn(100)
+			o := Object{Label: label, Box: NewRect(x0, y0, x0+rng.Intn(100-x0+1), y0+rng.Intn(100-y0+1))}
+			if err := ix.Insert(o); err != nil {
+				t.Fatalf("step %d: insert: %v", step, err)
+			}
+			live = append(live, label)
+		}
+		want := MustConvert(ix.Image())
+		if got := ix.BE(); !got.Equal(want) {
+			t.Fatalf("step %d: indexed diverged from rebuild\n got %v\nwant %v", step, got, want)
+		}
+	}
+}
+
+func TestNewIndexedRejectsInvalid(t *testing.T) {
+	if _, err := NewIndexed(NewImage(10, 10)); err == nil {
+		t.Error("expected error for empty image")
+	}
+}
+
+func TestIndexedImageCopyIsolated(t *testing.T) {
+	ix, err := NewIndexed(Figure1Image())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := ix.Image()
+	img.Objects[0].Label = "mutated"
+	if got := ix.Image().Objects[0].Label; got != "A" {
+		t.Errorf("Image() exposed internal storage: label = %q", got)
+	}
+	be := ix.BE()
+	be.X[0] = BeginToken("Z")
+	if ix.BE().X[0].Label == "Z" {
+		t.Error("BE() exposed internal storage")
+	}
+}

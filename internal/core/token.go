@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind distinguishes the begin boundary of an object's MBR projection from
+// its end boundary.
+type Kind uint8
+
+// Boundary kinds. The zero value is invalid so that an uninitialised Token
+// is detectable.
+const (
+	Begin Kind = iota + 1
+	End
+)
+
+// String returns "begin" or "end".
+func (k Kind) String() string {
+	switch k {
+	case Begin:
+		return "begin"
+	case End:
+		return "end"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is Begin or End.
+func (k Kind) Valid() bool { return k == Begin || k == End }
+
+// Flip returns the opposite kind. Flipping is how axis reversal (used by
+// rotations and reflections) turns begin boundaries into end boundaries.
+func (k Kind) Flip() Kind {
+	switch k {
+	case Begin:
+		return End
+	case End:
+		return Begin
+	default:
+		return k
+	}
+}
+
+// DummyText is the textual rendering of the dummy object. The paper calls
+// it the symbol 'E'. A real object label therefore must not be exactly "E";
+// Image.Validate enforces this.
+const DummyText = "E"
+
+// Token is one symbol of a BE-string axis: either the dummy object E
+// (Dummy==true, other fields zero) or the begin/end boundary symbol of an
+// icon object identified by its Label.
+type Token struct {
+	Dummy bool   `json:"dummy,omitempty"`
+	Label string `json:"label,omitempty"`
+	Kind  Kind   `json:"kind,omitempty"`
+}
+
+// DummyToken returns the dummy object E.
+func DummyToken() Token { return Token{Dummy: true} }
+
+// BeginToken returns the begin-boundary symbol of the labelled object.
+func BeginToken(label string) Token { return Token{Label: label, Kind: Begin} }
+
+// EndToken returns the end-boundary symbol of the labelled object.
+func EndToken(label string) Token { return Token{Label: label, Kind: End} }
+
+// Equal reports whether two tokens are the same symbol. Two dummies are
+// equal; two boundary symbols are equal iff label and kind match. This is
+// the equality the modified LCS of the paper (Algorithm 2) uses.
+func (t Token) Equal(o Token) bool {
+	if t.Dummy || o.Dummy {
+		return t.Dummy == o.Dummy
+	}
+	return t.Label == o.Label && t.Kind == o.Kind
+}
+
+// Flip returns the token with begin/end swapped; the dummy is unchanged.
+func (t Token) Flip() Token {
+	if t.Dummy {
+		return t
+	}
+	t.Kind = t.Kind.Flip()
+	return t
+}
+
+// String renders the token: "E" for the dummy, "<label>+" for a begin
+// boundary and "<label>-" for an end boundary.
+func (t Token) String() string {
+	if t.Dummy {
+		return DummyText
+	}
+	if t.Kind == End {
+		return t.Label + "-"
+	}
+	return t.Label + "+"
+}
+
+// ParseToken parses the rendering produced by Token.String.
+func ParseToken(s string) (Token, error) {
+	if s == DummyText {
+		return DummyToken(), nil
+	}
+	if len(s) < 2 {
+		return Token{}, fmt.Errorf("parse token %q: too short", s)
+	}
+	label, suffix := s[:len(s)-1], s[len(s)-1]
+	switch suffix {
+	case '+':
+		return BeginToken(label), nil
+	case '-':
+		return EndToken(label), nil
+	default:
+		return Token{}, fmt.Errorf("parse token %q: missing +/- boundary suffix", s)
+	}
+}
+
+// Axis is one dimension of a 2D BE-string: a sequence of boundary symbols
+// and dummy objects, ordered by projected coordinate.
+type Axis []Token
+
+// String renders the axis as space-separated tokens.
+func (a Axis) String() string {
+	parts := make([]string, len(a))
+	for i, t := range a {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParseAxis parses a space-separated token sequence (Axis.String format).
+func ParseAxis(s string) (Axis, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, nil
+	}
+	axis := make(Axis, 0, len(fields))
+	for _, f := range fields {
+		t, err := ParseToken(f)
+		if err != nil {
+			return nil, fmt.Errorf("parse axis: %w", err)
+		}
+		axis = append(axis, t)
+	}
+	return axis, nil
+}
+
+// Symbols returns the number of non-dummy boundary symbols in the axis.
+func (a Axis) Symbols() int {
+	n := 0
+	for _, t := range a {
+		if !t.Dummy {
+			n++
+		}
+	}
+	return n
+}
+
+// Dummies returns the number of dummy objects in the axis.
+func (a Axis) Dummies() int { return len(a) - a.Symbols() }
+
+// Labels returns the set of object labels appearing in the axis.
+func (a Axis) Labels() map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range a {
+		if !t.Dummy {
+			set[t.Label] = true
+		}
+	}
+	return set
+}
+
+// Clone returns a copy of the axis that shares no storage with a.
+func (a Axis) Clone() Axis {
+	if a == nil {
+		return nil
+	}
+	out := make(Axis, len(a))
+	copy(out, a)
+	return out
+}
+
+// Equal reports whether two axes are symbol-wise identical.
+func (a Axis) Equal(b Axis) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reverse returns the axis read backwards with every boundary kind flipped.
+// This is the string-level primitive behind rotations and reflections
+// (paper section 5): mirroring an image along an axis reverses the order of
+// boundary projections and turns each begin boundary into an end boundary.
+//
+// Boundary symbols between two dummies all project to the same coordinate
+// (a "coincidence group"), so their relative order carries no spatial
+// information; Reverse re-canonicalises each group so that the result is
+// identical to converting the mirrored image.
+func (a Axis) Reverse() Axis {
+	out := make(Axis, len(a))
+	for i, t := range a {
+		out[len(a)-1-i] = t.Flip()
+	}
+	out.canonicalize()
+	return out
+}
+
+// canonicalize sorts every maximal dummy-free run (coincidence group) by
+// (label, kind), the order Convert emits. Consecutive non-dummy tokens
+// always share a projected coordinate, so this is a semantics-preserving
+// normal form.
+func (a Axis) canonicalize() {
+	i := 0
+	for i < len(a) {
+		if a[i].Dummy {
+			i++
+			continue
+		}
+		j := i
+		for j < len(a) && !a[j].Dummy {
+			j++
+		}
+		group := a[i:j]
+		sort.Slice(group, func(p, q int) bool {
+			if group[p].Label != group[q].Label {
+				return group[p].Label < group[q].Label
+			}
+			return group[p].Kind < group[q].Kind
+		})
+		i = j
+	}
+}
+
+// Validate checks the structural invariants of a well-formed BE-string
+// axis: no two consecutive dummies, every object label has exactly one
+// begin followed (not necessarily adjacently) by exactly one end, and no
+// empty labels.
+func (a Axis) Validate() error {
+	open := make(map[string]int)
+	closed := make(map[string]bool)
+	prevDummy := false
+	for i, t := range a {
+		if t.Dummy {
+			if prevDummy {
+				return fmt.Errorf("axis position %d: consecutive dummy objects", i)
+			}
+			prevDummy = true
+			continue
+		}
+		prevDummy = false
+		if t.Label == "" {
+			return fmt.Errorf("axis position %d: empty object label", i)
+		}
+		if t.Label == DummyText {
+			return fmt.Errorf("axis position %d: object label %q collides with the dummy symbol", i, t.Label)
+		}
+		if !t.Kind.Valid() {
+			return fmt.Errorf("axis position %d: invalid boundary kind", i)
+		}
+		switch t.Kind {
+		case Begin:
+			if open[t.Label] > 0 || closed[t.Label] {
+				return fmt.Errorf("axis position %d: duplicate begin boundary for %q", i, t.Label)
+			}
+			open[t.Label]++
+		case End:
+			if open[t.Label] == 0 {
+				return fmt.Errorf("axis position %d: end boundary for %q without begin", i, t.Label)
+			}
+			open[t.Label]--
+			closed[t.Label] = true
+		}
+	}
+	for label, n := range open {
+		if n != 0 {
+			return fmt.Errorf("axis: begin boundary for %q never closed", label)
+		}
+	}
+	return nil
+}

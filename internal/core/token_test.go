@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Token
+		want bool
+	}{
+		{"dummy vs dummy", DummyToken(), DummyToken(), true},
+		{"dummy vs symbol", DummyToken(), BeginToken("A"), false},
+		{"same begin", BeginToken("A"), BeginToken("A"), true},
+		{"begin vs end", BeginToken("A"), EndToken("A"), false},
+		{"different labels", BeginToken("A"), BeginToken("B"), false},
+		{"same end", EndToken("tree"), EndToken("tree"), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("Equal = %v, want %v", got, tt.want)
+			}
+			if got := tt.b.Equal(tt.a); got != tt.want {
+				t.Errorf("Equal not symmetric")
+			}
+		})
+	}
+}
+
+func TestKindFlip(t *testing.T) {
+	if Begin.Flip() != End || End.Flip() != Begin {
+		t.Error("Flip must swap Begin and End")
+	}
+	if !Begin.Valid() || !End.Valid() || Kind(0).Valid() || Kind(9).Valid() {
+		t.Error("Valid misclassifies kinds")
+	}
+}
+
+func TestTokenStringParseRoundTrip(t *testing.T) {
+	tokens := []Token{
+		DummyToken(),
+		BeginToken("A"),
+		EndToken("A"),
+		BeginToken("house"),
+		EndToken("tree2"),
+	}
+	for _, tok := range tokens {
+		got, err := ParseToken(tok.String())
+		if err != nil {
+			t.Fatalf("ParseToken(%q): %v", tok.String(), err)
+		}
+		if !got.Equal(tok) {
+			t.Errorf("round trip %q -> %v, want %v", tok.String(), got, tok)
+		}
+	}
+}
+
+func TestParseTokenErrors(t *testing.T) {
+	for _, s := range []string{"", "A", "+", "house?", "x"} {
+		if _, err := ParseToken(s); err == nil {
+			t.Errorf("ParseToken(%q): expected error", s)
+		}
+	}
+}
+
+func TestAxisStringParseRoundTrip(t *testing.T) {
+	axis := Figure1BEString().X
+	parsed, err := ParseAxis(axis.String())
+	if err != nil {
+		t.Fatalf("ParseAxis: %v", err)
+	}
+	if !parsed.Equal(axis) {
+		t.Errorf("round trip: got %q, want %q", parsed.String(), axis.String())
+	}
+}
+
+func TestAxisCounts(t *testing.T) {
+	axis := Figure1BEString().X
+	if got := axis.Symbols(); got != 6 {
+		t.Errorf("Symbols = %d, want 6 (2 boundaries x 3 objects)", got)
+	}
+	if got := axis.Dummies(); got != 6 {
+		t.Errorf("Dummies = %d, want 6", got)
+	}
+	labels := axis.Labels()
+	for _, l := range []string{"A", "B", "C"} {
+		if !labels[l] {
+			t.Errorf("Labels missing %q", l)
+		}
+	}
+	if len(labels) != 3 {
+		t.Errorf("Labels = %v, want exactly A,B,C", labels)
+	}
+}
+
+func TestAxisReverseInvolution(t *testing.T) {
+	axis := Figure1BEString().Y
+	if got := axis.Reverse().Reverse(); !got.Equal(axis) {
+		t.Errorf("Reverse twice: got %q, want %q", got.String(), axis.String())
+	}
+}
+
+func TestAxisReverseFlipsKinds(t *testing.T) {
+	axis := Axis{BeginToken("A"), DummyToken(), EndToken("A")}
+	rev := axis.Reverse()
+	want := Axis{BeginToken("A"), DummyToken(), EndToken("A")}
+	if !rev.Equal(want) {
+		// A- reversed+flipped becomes A+ at the front.
+		t.Errorf("Reverse = %q, want %q", rev.String(), want.String())
+	}
+}
+
+func TestAxisValidate(t *testing.T) {
+	e, ab, ae := DummyToken(), BeginToken("A"), EndToken("A")
+	tests := []struct {
+		name    string
+		axis    Axis
+		wantErr bool
+	}{
+		{"valid minimal", Axis{ab, ae}, false},
+		{"valid with dummies", Axis{e, ab, e, ae, e}, false},
+		{"consecutive dummies", Axis{e, e, ab, ae}, true},
+		{"end before begin", Axis{ae, ab}, true},
+		{"unclosed begin", Axis{ab}, true},
+		{"duplicate begin", Axis{ab, ab, ae, ae}, true},
+		{"reopened after close", Axis{ab, ae, ab, ae}, true},
+		{"empty label", Axis{{Label: "", Kind: Begin}}, true},
+		{"label E collides with dummy", Axis{{Label: "E", Kind: Begin}, {Label: "E", Kind: End}}, true},
+		{"invalid kind", Axis{{Label: "A", Kind: Kind(7)}}, true},
+		{"empty axis ok", nil, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.axis.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAxisCloneIndependent(t *testing.T) {
+	axis := Axis{BeginToken("A"), EndToken("A")}
+	clone := axis.Clone()
+	clone[0] = DummyToken()
+	if axis[0].Dummy {
+		t.Error("Clone shares storage with original")
+	}
+	if Axis(nil).Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+}
+
+func TestReverseValidityPreserved(t *testing.T) {
+	// Reversing a valid axis yields a valid axis (begins/ends swap roles).
+	f := func(seed uint8) bool {
+		img := randomImageForQuick(int(seed))
+		be := MustConvert(img)
+		return be.X.Reverse().Validate() == nil && be.Y.Reverse().Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package imagedb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"bestring/internal/core"
+)
+
+// BulkItem is one image in a bulk insertion.
+type BulkItem struct {
+	ID    string
+	Name  string
+	Image core.Image
+}
+
+// BulkInsert converts many images in parallel (the conversions are
+// independent and CPU-bound) and then installs them under the write lock
+// in slice order. It is all-or-nothing: if any item fails validation,
+// conversion or collides with an existing id, nothing is inserted.
+func (db *DB) BulkInsert(ctx context.Context, items []BulkItem, parallelism int) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = 4
+	}
+	seen := make(map[string]bool, len(items))
+	for i, it := range items {
+		if it.ID == "" {
+			return fmt.Errorf("bulk insert item %d: %w", i, ErrEmptyID)
+		}
+		if seen[it.ID] {
+			return fmt.Errorf("bulk insert item %d (%q): %w", i, it.ID, ErrDuplicate)
+		}
+		seen[it.ID] = true
+	}
+
+	converted := make([]core.BEString, len(items))
+	errs := make([]error, len(items))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				converted[i], errs[i] = core.Convert(items[i].Image)
+			}
+		}()
+	}
+	var cancelled error
+feed:
+	for i := range items {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			cancelled = ctx.Err()
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if cancelled != nil {
+		return fmt.Errorf("bulk insert: %w", cancelled)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("bulk insert item %d (%q): %w", i, items[i].ID, err)
+		}
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, it := range items {
+		if _, exists := db.entries[it.ID]; exists {
+			return fmt.Errorf("bulk insert %q: %w", it.ID, ErrDuplicate)
+		}
+	}
+	for i, it := range items {
+		e := &Entry{ID: it.ID, Name: it.Name, Image: it.Image.Clone(), BE: converted[i]}
+		db.entries[it.ID] = e
+		db.order = append(db.order, it.ID)
+		db.indexEntry(e)
+	}
+	return nil
+}

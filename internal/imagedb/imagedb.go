@@ -1,0 +1,361 @@
+// Package imagedb is the image-database substrate of the demonstration
+// retrieval system (paper section 5): a concurrency-safe store of symbolic
+// images indexed by their 2D BE-strings, with ranked top-k similarity
+// search, pluggable scoring methods (BE-LCS, transform-invariant BE-LCS, or
+// the clique-based type-i baselines) and JSON persistence.
+package imagedb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bestring/internal/baseline/typesim"
+	"bestring/internal/core"
+	"bestring/internal/rtree"
+	"bestring/internal/similarity"
+)
+
+// Entry is one stored image: the symbolic image plus its precomputed 2D
+// BE-string index.
+type Entry struct {
+	ID    string        `json:"id"`
+	Name  string        `json:"name,omitempty"`
+	Image core.Image    `json:"image"`
+	BE    core.BEString `json:"be"`
+}
+
+// Errors returned by DB operations.
+var (
+	ErrNotFound  = errors.New("image not found")
+	ErrDuplicate = errors.New("duplicate image id")
+	ErrEmptyID   = errors.New("empty image id")
+)
+
+// DB is an in-memory symbolic-image database. The zero value is not ready;
+// use New. All methods are safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	order   []string // insertion order, for deterministic iteration
+	// labels is the inverted label index: icon label -> image ids.
+	labels map[string]map[string]bool
+	// spatial indexes every stored icon MBR (Guttman R-tree); item ids are
+	// imageID + "\x00" + label.
+	spatial *rtree.Tree
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		entries: make(map[string]*Entry),
+		labels:  make(map[string]map[string]bool),
+		spatial: rtree.New(rtree.DefaultMaxEntries),
+	}
+}
+
+// indexEntry registers an entry's icons in the label and spatial indexes.
+// Callers hold the write lock.
+func (db *DB) indexEntry(e *Entry) {
+	for _, o := range e.Image.Objects {
+		ids := db.labels[o.Label]
+		if ids == nil {
+			ids = make(map[string]bool)
+			db.labels[o.Label] = ids
+		}
+		ids[e.ID] = true
+		db.spatial.Insert(spatialID(e.ID, o.Label), o.Box)
+	}
+}
+
+// unindexEntry removes an entry's icons from the secondary indexes.
+// Callers hold the write lock.
+func (db *DB) unindexEntry(e *Entry) {
+	for _, o := range e.Image.Objects {
+		if ids := db.labels[o.Label]; ids != nil {
+			delete(ids, e.ID)
+			if len(ids) == 0 {
+				delete(db.labels, o.Label)
+			}
+		}
+		db.spatial.Delete(spatialID(e.ID, o.Label), o.Box)
+	}
+}
+
+// spatialID keys one icon of one image in the R-tree. Labels cannot
+// contain NUL (they come from validated images), so the join is unambiguous.
+func spatialID(imageID, label string) string { return imageID + "\x00" + label }
+
+// splitSpatialID undoes spatialID.
+func splitSpatialID(id string) (imageID, label string) {
+	for i := 0; i < len(id); i++ {
+		if id[i] == 0 {
+			return id[:i], id[i+1:]
+		}
+	}
+	return id, ""
+}
+
+// Insert converts the image to its 2D BE-string and stores it under id.
+func (db *DB) Insert(id, name string, img core.Image) error {
+	if id == "" {
+		return ErrEmptyID
+	}
+	be, err := core.Convert(img)
+	if err != nil {
+		return fmt.Errorf("insert %q: %w", id, err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.entries[id]; exists {
+		return fmt.Errorf("insert %q: %w", id, ErrDuplicate)
+	}
+	e := &Entry{ID: id, Name: name, Image: img.Clone(), BE: be}
+	db.entries[id] = e
+	db.order = append(db.order, id)
+	db.indexEntry(e)
+	return nil
+}
+
+// Delete removes the image with the given id.
+func (db *DB) Delete(id string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, exists := db.entries[id]
+	if !exists {
+		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
+	}
+	db.unindexEntry(e)
+	delete(db.entries, id)
+	for i, oid := range db.order {
+		if oid == id {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Get returns a copy of the entry with the given id.
+func (db *DB) Get(id string) (Entry, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.entries[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return copyEntry(e), true
+}
+
+// Len returns the number of stored images.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// IDs returns the stored ids in insertion order.
+func (db *DB) IDs() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// InsertObject adds an object to a stored image, reindexing it.
+func (db *DB) InsertObject(id string, o core.Object) error {
+	return db.updateImage(id, func(img core.Image) core.Image {
+		return img.WithObject(o)
+	})
+}
+
+// DeleteObject removes a labelled object from a stored image, reindexing.
+func (db *DB) DeleteObject(id, label string) error {
+	var missing bool
+	err := db.updateImage(id, func(img core.Image) core.Image {
+		out, found := img.WithoutObject(label)
+		missing = !found
+		return out
+	})
+	if err != nil {
+		return err
+	}
+	if missing {
+		return fmt.Errorf("delete object %q from %q: %w", label, id, ErrNotFound)
+	}
+	return nil
+}
+
+// updateImage applies fn to the stored image and reindexes; the update is
+// rejected if the result no longer converts.
+func (db *DB) updateImage(id string, fn func(core.Image) core.Image) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.entries[id]
+	if !ok {
+		return fmt.Errorf("update %q: %w", id, ErrNotFound)
+	}
+	img := fn(e.Image.Clone())
+	be, err := core.Convert(img)
+	if err != nil {
+		return fmt.Errorf("update %q: %w", id, err)
+	}
+	db.unindexEntry(e)
+	e.Image = img
+	e.BE = be
+	db.indexEntry(e)
+	return nil
+}
+
+func copyEntry(e *Entry) Entry {
+	return Entry{ID: e.ID, Name: e.Name, Image: e.Image.Clone(), BE: e.BE.Clone()}
+}
+
+// Scorer grades a database entry against a query; higher is more similar.
+// The query is supplied both as image and as precomputed BE-string so
+// scorers pay conversion once per search, not per entry.
+type Scorer func(query core.Image, queryBE core.BEString, e Entry) float64
+
+// BEScorer ranks by the paper's modified-LCS similarity (harmonic score).
+func BEScorer() Scorer {
+	return func(_ core.Image, queryBE core.BEString, e Entry) float64 {
+		return similarity.Evaluate(queryBE, e.BE).Key()
+	}
+}
+
+// InvariantScorer ranks by the best BE-LCS score across the given
+// transforms of the query (nil means all eight of the dihedral group).
+func InvariantScorer(transforms []core.Transform) Scorer {
+	return func(_ core.Image, queryBE core.BEString, e Entry) float64 {
+		return similarity.EvaluateInvariant(queryBE, e.BE, transforms).Key()
+	}
+}
+
+// TypeSimScorer ranks by the clique-based type-i similarity, normalised by
+// the query object count — the 2-D string family baseline.
+func TypeSimScorer(level typesim.Level) Scorer {
+	return func(query core.Image, _ core.BEString, e Entry) float64 {
+		return typesim.NormalizedScore(typesim.Similarity(query, e.Image, level), query)
+	}
+}
+
+// SymbolsOnlyScorer is the ablation scorer: BE-LCS with dummies stripped.
+func SymbolsOnlyScorer() Scorer {
+	return func(_ core.Image, queryBE core.BEString, e Entry) float64 {
+		return similarity.EvaluateSymbolsOnly(queryBE, e.BE).Key()
+	}
+}
+
+// Result is one ranked search hit.
+type Result struct {
+	ID    string  `json:"id"`
+	Name  string  `json:"name,omitempty"`
+	Score float64 `json:"score"`
+}
+
+// SearchOptions parameterise Search.
+type SearchOptions struct {
+	// K limits the number of results (0 means all).
+	K int
+	// Scorer ranks entries; default BEScorer().
+	Scorer Scorer
+	// MinScore filters results scoring strictly below the threshold.
+	MinScore float64
+	// Parallelism bounds the scoring workers (0 means 4).
+	Parallelism int
+	// LabelPrefilter restricts scoring to images sharing at least one icon
+	// label with the query (via the inverted label index). Images that
+	// share nothing would score near zero anyway; skipping them trades
+	// exact tail ordering for throughput on large collections.
+	LabelPrefilter bool
+}
+
+// Search ranks the stored images against the query image, best first.
+// Ties break by id so results are deterministic. The context cancels
+// in-flight scoring.
+func (db *DB) Search(ctx context.Context, query core.Image, opts SearchOptions) ([]Result, error) {
+	queryBE, err := core.Convert(query)
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	scorer := opts.Scorer
+	if scorer == nil {
+		scorer = BEScorer()
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = 4
+	}
+
+	// Snapshot entries under the read lock; scoring happens outside it.
+	db.mu.RLock()
+	var candidates map[string]bool
+	if opts.LabelPrefilter {
+		candidates = make(map[string]bool)
+		for _, o := range query.Objects {
+			for id := range db.labels[o.Label] {
+				candidates[id] = true
+			}
+		}
+	}
+	snapshot := make([]*Entry, 0, len(db.order))
+	for _, id := range db.order {
+		if candidates != nil && !candidates[id] {
+			continue
+		}
+		snapshot = append(snapshot, db.entries[id])
+	}
+	db.mu.RUnlock()
+
+	results := make([]Result, len(snapshot))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				e := snapshot[i]
+				results[i] = Result{ID: e.ID, Name: e.Name, Score: scorer(query, queryBE, *e)}
+			}
+		}()
+	}
+	var cancelled error
+feed:
+	for i := range snapshot {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			cancelled = ctx.Err()
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if cancelled != nil {
+		return nil, fmt.Errorf("search: %w", cancelled)
+	}
+
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].ID < results[j].ID
+	})
+	filtered := results[:0]
+	for _, r := range results {
+		if r.Score >= opts.MinScore {
+			filtered = append(filtered, r)
+		}
+	}
+	results = filtered
+	if opts.K > 0 && len(results) > opts.K {
+		results = results[:opts.K]
+	}
+	out := make([]Result, len(results))
+	copy(out, results)
+	return out, nil
+}

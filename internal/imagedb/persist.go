@@ -1,0 +1,125 @@
+package imagedb
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshotJSON is the on-disk format: a versioned list of entries.
+type snapshotJSON struct {
+	Version int     `json:"version"`
+	Entries []Entry `json:"entries"`
+}
+
+// snapshotVersion is bumped on incompatible format changes.
+const snapshotVersion = 1
+
+// Save writes the database as JSON. Entries appear in insertion order.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	snap := snapshotJSON{Version: snapshotVersion, Entries: make([]Entry, 0, len(db.order))}
+	for _, id := range db.order {
+		snap.Entries = append(snap.Entries, copyEntry(db.entries[id]))
+	}
+	db.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("save image db: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database snapshot written by Save. Every entry's BE-string
+// is re-derived from its image and cross-checked against the stored one,
+// so a corrupted or hand-edited snapshot cannot desynchronise index and
+// data.
+func Load(r io.Reader) (*DB, error) {
+	var snap snapshotJSON
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("load image db: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("load image db: unsupported snapshot version %d", snap.Version)
+	}
+	db := New()
+	for _, e := range snap.Entries {
+		if err := db.Insert(e.ID, e.Name, e.Image); err != nil {
+			return nil, fmt.Errorf("load image db: %w", err)
+		}
+		fresh, _ := db.Get(e.ID)
+		if len(e.BE.X) > 0 && !fresh.BE.Equal(e.BE) {
+			return nil, fmt.Errorf("load image db: entry %q: stored BE-string does not match its image", e.ID)
+		}
+	}
+	return db, nil
+}
+
+// SaveGob writes the database in the binary gob format — denser and
+// faster than JSON for large collections; Load/Save remain the
+// interchange format.
+func (db *DB) SaveGob(w io.Writer) error {
+	db.mu.RLock()
+	snap := snapshotJSON{Version: snapshotVersion, Entries: make([]Entry, 0, len(db.order))}
+	for _, id := range db.order {
+		snap.Entries = append(snap.Entries, copyEntry(db.entries[id]))
+	}
+	db.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("save image db (gob): %w", err)
+	}
+	return nil
+}
+
+// LoadGob reads a database written by SaveGob, with the same BE-string
+// cross-check as Load.
+func LoadGob(r io.Reader) (*DB, error) {
+	var snap snapshotJSON
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("load image db (gob): %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("load image db (gob): unsupported snapshot version %d", snap.Version)
+	}
+	db := New()
+	for _, e := range snap.Entries {
+		if err := db.Insert(e.ID, e.Name, e.Image); err != nil {
+			return nil, fmt.Errorf("load image db (gob): %w", err)
+		}
+		fresh, _ := db.Get(e.ID)
+		if len(e.BE.X) > 0 && !fresh.BE.Equal(e.BE) {
+			return nil, fmt.Errorf("load image db (gob): entry %q: stored BE-string does not match its image", e.ID)
+		}
+	}
+	return db, nil
+}
+
+// SaveFile writes the database to a file path.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save image db: %w", err)
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("save image db: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a database from a file path.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load image db: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

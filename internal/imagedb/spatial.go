@@ -1,0 +1,116 @@
+package imagedb
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"bestring/internal/core"
+	"bestring/internal/query"
+)
+
+// RegionHit is one icon found by a location-constrained search.
+type RegionHit struct {
+	ImageID string    `json:"imageId"`
+	Label   string    `json:"label"`
+	Box     core.Rect `json:"box"`
+}
+
+// SearchRegion returns every stored icon whose MBR intersects the region,
+// optionally restricted to one label — the "by size and location"
+// indexing category of the paper's related work, answered by the R-tree.
+// Results are sorted by (image id, label).
+func (db *DB) SearchRegion(region core.Rect, label string) []RegionHit {
+	if !region.Valid() {
+		return nil
+	}
+	db.mu.RLock()
+	items := db.spatial.SearchIntersect(region)
+	db.mu.RUnlock()
+
+	out := make([]RegionHit, 0, len(items))
+	for _, it := range items {
+		imageID, l := splitSpatialID(it.ID)
+		if label != "" && l != label {
+			continue
+		}
+		out = append(out, RegionHit{ImageID: imageID, Label: l, Box: it.Box})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ImageID != out[j].ImageID {
+			return out[i].ImageID < out[j].ImageID
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// QueryResult is one image ranked by spatial-predicate satisfaction.
+type QueryResult struct {
+	ID    string  `json:"id"`
+	Name  string  `json:"name,omitempty"`
+	Score float64 `json:"score"` // satisfied fraction of constraints
+	Full  bool    `json:"full"`  // every constraint satisfied
+}
+
+// SearchDSL evaluates a spatial-predicate query (internal/query syntax,
+// e.g. "A left-of B; B above C") against every stored image and returns
+// images ranked by the satisfied fraction, best first; ties break by id.
+// The inverted label index prunes images containing none of the query's
+// labels. k <= 0 returns all scoring images.
+func (db *DB) SearchDSL(ctx context.Context, q query.Query, k int) ([]QueryResult, error) {
+	if len(q.Constraints) == 0 {
+		return nil, fmt.Errorf("search dsl: empty query")
+	}
+	db.mu.RLock()
+	candidates := make(map[string]bool)
+	for label := range q.Labels() {
+		for id := range db.labels[label] {
+			candidates[id] = true
+		}
+	}
+	snapshot := make([]*Entry, 0, len(candidates))
+	for _, id := range db.order {
+		if candidates[id] {
+			snapshot = append(snapshot, db.entries[id])
+		}
+	}
+	db.mu.RUnlock()
+
+	out := make([]QueryResult, 0, len(snapshot))
+	for _, e := range snapshot {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("search dsl: %w", err)
+		}
+		score, full := q.Eval(e.Image)
+		if score <= 0 {
+			continue
+		}
+		out = append(out, QueryResult{ID: e.ID, Name: e.Name, Score: score, Full: full})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// ImagesWithLabel returns the ids of images containing the icon label,
+// in insertion order (the inverted-index lookup).
+func (db *DB) ImagesWithLabel(label string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ids := db.labels[label]
+	out := make([]string, 0, len(ids))
+	for _, id := range db.order {
+		if ids[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

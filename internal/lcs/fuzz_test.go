@@ -1,0 +1,67 @@
+package lcs
+
+import (
+	"strings"
+	"testing"
+
+	"bestring/internal/core"
+)
+
+// axisFromWords builds arbitrary token sequences from fuzzer words:
+// "e"/"" become dummies, "x+"/"x-" boundary symbols, anything else a
+// begin boundary.
+func axisFromWords(s string) core.Axis {
+	var axis core.Axis
+	for _, w := range strings.Fields(s) {
+		switch {
+		case w == "e" || w == "E":
+			axis = append(axis, core.DummyToken())
+		case strings.HasSuffix(w, "-") && len(w) > 1:
+			axis = append(axis, core.EndToken(strings.TrimSuffix(w, "-")))
+		case strings.HasSuffix(w, "+") && len(w) > 1:
+			axis = append(axis, core.BeginToken(strings.TrimSuffix(w, "+")))
+		default:
+			axis = append(axis, core.BeginToken(w))
+		}
+	}
+	return axis
+}
+
+// FuzzLCSInvariants drives Algorithm 2 + 3 with arbitrary token soup and
+// asserts the paper's invariants: symmetric length, bounded by the
+// classic LCS, reconstruction matches the length, is a common
+// subsequence, and never contains consecutive dummies.
+func FuzzLCSInvariants(f *testing.F) {
+	f.Add("e a+ e a- e", "e a+ e b+ a- e")
+	f.Add("e e e", "e e")
+	f.Add("a+ b+ c+", "c+ b+ a+")
+	f.Add("", "e a+")
+	f.Fuzz(func(t *testing.T, s1, s2 string) {
+		q := axisFromWords(s1)
+		d := axisFromWords(s2)
+		if len(q) > 64 || len(d) > 64 {
+			return // keep the quadratic table small
+		}
+		length := Length(q, d)
+		if got := Length(d, q); got != length {
+			t.Fatalf("length not symmetric: %d vs %d", length, got)
+		}
+		table := NewTable(q, d)
+		if table.Len() != length {
+			t.Fatalf("table length %d != rolling length %d", table.Len(), length)
+		}
+		if hi := Classic(q, d); length > hi {
+			t.Fatalf("modified LCS %d exceeds classic %d", length, hi)
+		}
+		got := table.Reconstruct()
+		if len(got) != length {
+			t.Fatalf("reconstruction length %d != %d", len(got), length)
+		}
+		if !IsSubsequence(got, q) || !IsSubsequence(got, d) {
+			t.Fatalf("reconstruction %q is not a common subsequence", got.String())
+		}
+		if err := ValidateNoConsecutiveDummies(got); err != nil {
+			t.Fatalf("reconstruction violates dummy rule: %v", err)
+		}
+	})
+}

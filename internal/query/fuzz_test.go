@@ -1,0 +1,30 @@
+package query
+
+import "testing"
+
+// FuzzParse ensures the query parser is total and that accepted queries
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	f.Add("A left-of B")
+	f.Add("A left-of B; B above C\nC inside D")
+	f.Add(";;;")
+	f.Add("a overlaps b; b disjoint a")
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", q.String(), err)
+		}
+		if len(back.Constraints) != len(q.Constraints) {
+			t.Fatalf("round trip changed constraint count")
+		}
+		for i := range back.Constraints {
+			if back.Constraints[i] != q.Constraints[i] {
+				t.Fatalf("round trip changed constraint %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,375 @@
+// Package rtree implements Guttman's R-tree (SIGMOD 1984) with quadratic
+// node splitting — the paper's reference [1] and the representative of its
+// second image-indexing category, "by size and location of the image
+// icons". The retrieval system uses it as a spatial prefilter: icon MBRs
+// from every stored image are indexed so that location-constrained queries
+// ("an icon intersecting this region") narrow the candidate set before the
+// BE-string LCS ranking runs.
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"bestring/internal/core"
+)
+
+// Item is one indexed spatial entry: an MBR with an opaque identifier.
+type Item struct {
+	ID  string
+	Box core.Rect
+}
+
+// Tree is an R-tree over Items. The zero value is not ready; use New.
+// Tree is not safe for concurrent use; callers wrap it (imagedb does).
+type Tree struct {
+	root *node
+	max  int // maximum entries per node
+	min  int // minimum entries per node (max/2)
+	size int
+}
+
+// node is an internal or leaf R-tree node.
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// entry is a bounding box with either a child node (internal) or an item
+// (leaf).
+type entry struct {
+	box   core.Rect
+	child *node
+	item  Item
+}
+
+// DefaultMaxEntries is the branching factor used by New when 0 is passed.
+const DefaultMaxEntries = 8
+
+// New returns an empty tree with the given maximum node occupancy
+// (minimum is half of it). maxEntries < 4 is raised to 4.
+func New(maxEntries int) *Tree {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	return &Tree{
+		root: &node{leaf: true},
+		max:  maxEntries,
+		min:  maxEntries / 2,
+	}
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds an item.
+func (t *Tree) Insert(id string, box core.Rect) {
+	e := entry{box: box, item: Item{ID: id, Box: box}}
+	leaf := t.chooseLeaf(t.root, e)
+	leaf.entries = append(leaf.entries, e)
+	t.size++
+	if len(leaf.entries) > t.max {
+		t.splitAndPropagate(leaf)
+	}
+}
+
+// chooseLeaf descends to the leaf needing least enlargement for e.
+func (t *Tree) chooseLeaf(n *node, e entry) *node {
+	for !n.leaf {
+		best := -1
+		bestEnlarge, bestArea := 0, 0
+		for i := range n.entries {
+			u := n.entries[i].box.Union(e.box)
+			enlarge := u.Area() - n.entries[i].box.Area()
+			area := n.entries[i].box.Area()
+			if best == -1 || enlarge < bestEnlarge ||
+				(enlarge == bestEnlarge && area < bestArea) {
+				best, bestEnlarge, bestArea = i, enlarge, area
+			}
+		}
+		n.entries[best].box = n.entries[best].box.Union(e.box)
+		n = n.entries[best].child
+	}
+	return n
+}
+
+// splitAndPropagate splits an overflowing node, walking up via re-search
+// of the parent chain (the tree has no parent pointers; paths are short).
+func (t *Tree) splitAndPropagate(n *node) {
+	for {
+		a, b := splitQuadratic(n.entries, t.min)
+		if n == t.root {
+			left := &node{leaf: n.leaf, entries: a}
+			right := &node{leaf: n.leaf, entries: b}
+			t.root = &node{entries: []entry{
+				{box: mbrOf(a), child: left},
+				{box: mbrOf(b), child: right},
+			}}
+			return
+		}
+		parent := t.findParent(t.root, n)
+		// Replace n's entry by the two halves.
+		right := &node{leaf: n.leaf, entries: b}
+		n.entries = a
+		for i := range parent.entries {
+			if parent.entries[i].child == n {
+				parent.entries[i].box = mbrOf(a)
+				break
+			}
+		}
+		parent.entries = append(parent.entries, entry{box: mbrOf(b), child: right})
+		if len(parent.entries) <= t.max {
+			return
+		}
+		n = parent
+	}
+}
+
+// findParent locates the parent of target (nil if target is the root or
+// absent).
+func (t *Tree) findParent(n, target *node) *node {
+	if n.leaf {
+		return nil
+	}
+	for i := range n.entries {
+		if n.entries[i].child == target {
+			return n
+		}
+		if p := t.findParent(n.entries[i].child, target); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// mbrOf returns the union of all entry boxes.
+func mbrOf(es []entry) core.Rect {
+	box := es[0].box
+	for _, e := range es[1:] {
+		box = box.Union(e.box)
+	}
+	return box
+}
+
+// splitQuadratic is Guttman's quadratic split: pick the two seeds wasting
+// the most area together, then greedily assign the rest by preference,
+// honouring the minimum fill.
+func splitQuadratic(es []entry, minFill int) (a, b []entry) {
+	seedA, seedB := pickSeeds(es)
+	a = []entry{es[seedA]}
+	b = []entry{es[seedB]}
+	boxA, boxB := es[seedA].box, es[seedB].box
+	rest := make([]entry, 0, len(es)-2)
+	for i, e := range es {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// Honour minimum fill.
+		if len(a)+len(rest) == minFill {
+			a = append(a, rest...)
+			for _, e := range rest {
+				boxA = boxA.Union(e.box)
+			}
+			break
+		}
+		if len(b)+len(rest) == minFill {
+			b = append(b, rest...)
+			for _, e := range rest {
+				boxB = boxB.Union(e.box)
+			}
+			break
+		}
+		// Pick the entry with the strongest preference.
+		bestIdx, bestDiff, preferA := -1, -1, true
+		for i, e := range rest {
+			dA := boxA.Union(e.box).Area() - boxA.Area()
+			dB := boxB.Union(e.box).Area() - boxB.Area()
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff = diff
+				bestIdx = i
+				preferA = dA < dB || (dA == dB && len(a) < len(b))
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		if preferA {
+			a = append(a, e)
+			boxA = boxA.Union(e.box)
+		} else {
+			b = append(b, e)
+			boxB = boxB.Union(e.box)
+		}
+	}
+	return a, b
+}
+
+// pickSeeds returns the pair of entries wasting the most area together.
+func pickSeeds(es []entry) (int, int) {
+	sa, sb, worst := 0, 1, -1
+	for i := 0; i < len(es); i++ {
+		for j := i + 1; j < len(es); j++ {
+			u := es[i].box.Union(es[j].box)
+			waste := u.Area() - es[i].box.Area() - es[j].box.Area()
+			if waste > worst {
+				worst, sa, sb = waste, i, j
+			}
+		}
+	}
+	return sa, sb
+}
+
+// SearchIntersect returns all items whose boxes intersect the query box,
+// sorted by ID for determinism.
+func (t *Tree) SearchIntersect(box core.Rect) []Item {
+	var out []Item
+	t.search(t.root, box, &out)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (t *Tree) search(n *node, box core.Rect, out *[]Item) {
+	for i := range n.entries {
+		if !n.entries[i].box.Intersects(box) {
+			continue
+		}
+		if n.leaf {
+			*out = append(*out, n.entries[i].item)
+		} else {
+			t.search(n.entries[i].child, box, out)
+		}
+	}
+}
+
+// Delete removes the item with the given id and box; it reports whether
+// the item was found. Underflowing nodes are condensed by reinserting
+// their remaining entries (Guttman's CondenseTree).
+func (t *Tree) Delete(id string, box core.Rect) bool {
+	leaf, idx := t.findLeaf(t.root, id, box)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	// Shrink the root if it has a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+	}
+	return true
+}
+
+// findLeaf locates the leaf holding (id, box).
+func (t *Tree) findLeaf(n *node, id string, box core.Rect) (*node, int) {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].item.ID == id && n.entries[i].item.Box == box {
+				return n, i
+			}
+		}
+		return nil, -1
+	}
+	for i := range n.entries {
+		if n.entries[i].box.Intersects(box) {
+			if leaf, idx := t.findLeaf(n.entries[i].child, id, box); leaf != nil {
+				return leaf, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense removes underflowing nodes bottom-up and reinserts their
+// orphaned items; it also tightens ancestor boxes.
+func (t *Tree) condense(n *node) {
+	for n != t.root {
+		parent := t.findParent(t.root, n)
+		if parent == nil {
+			return
+		}
+		if len(n.entries) < t.min {
+			// Remove n from its parent and reinsert its items.
+			for i := range parent.entries {
+				if parent.entries[i].child == n {
+					parent.entries = append(parent.entries[:i], parent.entries[i+1:]...)
+					break
+				}
+			}
+			var orphans []Item
+			collectItems(n, &orphans)
+			t.size -= len(orphans)
+			for _, it := range orphans {
+				t.Insert(it.ID, it.Box)
+			}
+		} else {
+			// Tighten the parent's box for n.
+			for i := range parent.entries {
+				if parent.entries[i].child == n {
+					parent.entries[i].box = mbrOf(n.entries)
+					break
+				}
+			}
+		}
+		n = parent
+	}
+}
+
+// collectItems gathers every item below n.
+func collectItems(n *node, out *[]Item) {
+	if n.leaf {
+		for i := range n.entries {
+			*out = append(*out, n.entries[i].item)
+		}
+		return
+	}
+	for i := range n.entries {
+		collectItems(n.entries[i].child, out)
+	}
+}
+
+// Validate checks the structural invariants: every internal entry's box
+// equals the MBR of its child's entries, node occupancy within [min, max]
+// (except the root), and uniform leaf depth.
+func (t *Tree) Validate() error {
+	depth := -1
+	var walk func(n *node, level int, isRoot bool) error
+	walk = func(n *node, level int, isRoot bool) error {
+		if !isRoot && (len(n.entries) < t.min || len(n.entries) > t.max) {
+			return fmt.Errorf("rtree: node occupancy %d outside [%d,%d]", len(n.entries), t.min, t.max)
+		}
+		if n.leaf {
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", depth, level)
+			}
+			return nil
+		}
+		for i := range n.entries {
+			child := n.entries[i].child
+			if child == nil {
+				return fmt.Errorf("rtree: internal entry without child")
+			}
+			if len(child.entries) > 0 && n.entries[i].box != mbrOf(child.entries) {
+				return fmt.Errorf("rtree: stale bounding box %v (want %v)",
+					n.entries[i].box, mbrOf(child.entries))
+			}
+			if err := walk(child, level+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0, true)
+}

@@ -1,0 +1,225 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bestring/internal/core"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(8)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.SearchIntersect(core.NewRect(0, 0, 100, 100)); len(got) != 0 {
+		t.Errorf("search on empty tree = %v", got)
+	}
+	if tr.Delete("x", core.NewRect(0, 0, 1, 1)) {
+		t.Error("Delete on empty tree reported success")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestInsertSearchBasic(t *testing.T) {
+	tr := New(4)
+	tr.Insert("a", core.NewRect(0, 0, 10, 10))
+	tr.Insert("b", core.NewRect(20, 20, 30, 30))
+	tr.Insert("c", core.NewRect(5, 5, 25, 25))
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.SearchIntersect(core.NewRect(8, 8, 9, 9))
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "c" {
+		t.Errorf("search = %v, want a and c", got)
+	}
+	if got := tr.SearchIntersect(core.NewRect(100, 100, 110, 110)); len(got) != 0 {
+		t.Errorf("disjoint search = %v", got)
+	}
+}
+
+func TestSplitKeepsAllItems(t *testing.T) {
+	tr := New(4)
+	const n = 100
+	for i := 0; i < n; i++ {
+		x, y := (i%10)*10, (i/10)*10
+		tr.Insert(fmt.Sprintf("item%03d", i), core.NewRect(x, y, x+5, y+5))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	all := tr.SearchIntersect(core.NewRect(0, 0, 200, 200))
+	if len(all) != n {
+		t.Fatalf("full search found %d items, want %d", len(all), n)
+	}
+}
+
+func TestDeleteAndCondense(t *testing.T) {
+	tr := New(4)
+	boxes := make(map[string]core.Rect)
+	for i := 0; i < 60; i++ {
+		x, y := (i%8)*12, (i/8)*12
+		id := fmt.Sprintf("item%02d", i)
+		boxes[id] = core.NewRect(x, y, x+6, y+6)
+		tr.Insert(id, boxes[id])
+	}
+	// Delete half.
+	for i := 0; i < 60; i += 2 {
+		id := fmt.Sprintf("item%02d", i)
+		if !tr.Delete(id, boxes[id]) {
+			t.Fatalf("Delete(%s) failed", id)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Validate after deleting %s: %v", id, err)
+		}
+	}
+	if tr.Len() != 30 {
+		t.Fatalf("Len = %d, want 30", tr.Len())
+	}
+	// Deleted items gone, kept items findable.
+	for i := 0; i < 60; i++ {
+		id := fmt.Sprintf("item%02d", i)
+		found := false
+		for _, it := range tr.SearchIntersect(boxes[id]) {
+			if it.ID == id {
+				found = true
+			}
+		}
+		if want := i%2 == 1; found != want {
+			t.Errorf("item %s found=%v, want %v", id, found, want)
+		}
+	}
+}
+
+func TestDeleteToEmpty(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 20; i++ {
+		tr.Insert(fmt.Sprintf("i%d", i), core.NewRect(i, i, i+2, i+2))
+	}
+	for i := 0; i < 20; i++ {
+		if !tr.Delete(fmt.Sprintf("i%d", i), core.NewRect(i, i, i+2, i+2)) {
+			t.Fatalf("Delete i%d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Tree remains usable.
+	tr.Insert("again", core.NewRect(0, 0, 5, 5))
+	if got := tr.SearchIntersect(core.NewRect(1, 1, 2, 2)); len(got) != 1 {
+		t.Errorf("reuse after emptying failed: %v", got)
+	}
+}
+
+func TestDeleteWrongBox(t *testing.T) {
+	tr := New(4)
+	tr.Insert("a", core.NewRect(0, 0, 5, 5))
+	if tr.Delete("a", core.NewRect(1, 1, 5, 5)) {
+		t.Error("Delete with mismatched box should fail")
+	}
+	if tr.Len() != 1 {
+		t.Error("failed delete changed size")
+	}
+}
+
+// TestAgainstBruteForce cross-validates interleaved inserts, deletes and
+// searches against a flat slice, checking tree invariants throughout.
+func TestAgainstBruteForce(t *testing.T) {
+	f := func(seed uint8, branching uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		tr := New(4 + int(branching%8))
+		live := make(map[string]core.Rect)
+		next := 0
+		for op := 0; op < 150; op++ {
+			switch {
+			case len(live) > 0 && rng.Intn(3) == 0: // delete
+				var id string
+				for k := range live {
+					id = k
+					break
+				}
+				if !tr.Delete(id, live[id]) {
+					return false
+				}
+				delete(live, id)
+			default: // insert
+				x0, y0 := rng.Intn(200), rng.Intn(200)
+				box := core.NewRect(x0, y0, x0+rng.Intn(40), y0+rng.Intn(40))
+				id := fmt.Sprintf("n%d", next)
+				next++
+				tr.Insert(id, box)
+				live[id] = box
+			}
+			if tr.Len() != len(live) {
+				return false
+			}
+			if err := tr.Validate(); err != nil {
+				return false
+			}
+		}
+		// Final search cross-check on random windows.
+		for q := 0; q < 20; q++ {
+			x0, y0 := rng.Intn(200), rng.Intn(200)
+			win := core.NewRect(x0, y0, x0+rng.Intn(80), y0+rng.Intn(80))
+			got := tr.SearchIntersect(win)
+			want := 0
+			for _, box := range live {
+				if box.Intersects(win) {
+					want++
+				}
+			}
+			if len(got) != want {
+				return false
+			}
+			for _, it := range got {
+				if !live[it.ID].Intersects(win) || live[it.ID] != it.Box {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateBoxesAllowed(t *testing.T) {
+	tr := New(4)
+	box := core.NewRect(0, 0, 10, 10)
+	for i := 0; i < 10; i++ {
+		tr.Insert(fmt.Sprintf("dup%d", i), box)
+	}
+	if got := tr.SearchIntersect(box); len(got) != 10 {
+		t.Errorf("found %d duplicates, want 10", len(got))
+	}
+	if !tr.Delete("dup3", box) {
+		t.Error("deleting one duplicate failed")
+	}
+	if got := tr.SearchIntersect(box); len(got) != 9 {
+		t.Errorf("found %d after delete, want 9", len(got))
+	}
+}
+
+func TestNewClampsBranching(t *testing.T) {
+	tr := New(1)
+	for i := 0; i < 30; i++ {
+		tr.Insert(fmt.Sprintf("i%d", i), core.NewRect(i, 0, i+1, 1))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate with clamped branching: %v", err)
+	}
+	if tr.Len() != 30 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}

@@ -1,0 +1,216 @@
+// Package segment is the icon-abstraction substrate of the demonstration
+// system (paper section 5 / experiment E9). The paper assumes objects and
+// their MBR coordinates have already been abstracted from the raster image
+// before Convert-2D-Be-String runs; this package closes that loop with
+// standard-library image machinery: a renderer that rasterises a symbolic
+// image into an image.RGBA (one colour per icon class) and an extractor
+// that recovers labelled MBRs from a raster by connected-component
+// labelling over the colour classes.
+package segment
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"sort"
+
+	"bestring/internal/core"
+)
+
+// Palette maps icon labels to colours and back. Colours must be fully
+// opaque and distinct; the background is transparent black.
+type Palette struct {
+	byLabel map[string]color.RGBA
+	byColor map[color.RGBA]string
+}
+
+// NewPalette assigns a distinct colour to every label (at most 255*6
+// labels; far beyond any symbolic image).
+func NewPalette(labels []string) (*Palette, error) {
+	p := &Palette{
+		byLabel: make(map[string]color.RGBA, len(labels)),
+		byColor: make(map[color.RGBA]string, len(labels)),
+	}
+	for i, label := range labels {
+		if label == "" {
+			return nil, fmt.Errorf("palette: empty label at index %d", i)
+		}
+		if _, dup := p.byLabel[label]; dup {
+			return nil, fmt.Errorf("palette: duplicate label %q", label)
+		}
+		c := colorForIndex(i)
+		p.byLabel[label] = c
+		p.byColor[c] = label
+	}
+	return p, nil
+}
+
+// colorForIndex spreads indices over RGB space deterministically, avoiding
+// the zero (background) colour.
+func colorForIndex(i int) color.RGBA {
+	n := uint32(i + 1)
+	return color.RGBA{
+		R: uint8(37*n%251 + 1),
+		G: uint8(91*n%241 + 1),
+		B: uint8(143*n%239 + 1),
+		A: 255,
+	}
+}
+
+// Color returns the colour for a label.
+func (p *Palette) Color(label string) (color.RGBA, bool) {
+	c, ok := p.byLabel[label]
+	return c, ok
+}
+
+// Label returns the label for a colour.
+func (p *Palette) Label(c color.RGBA) (string, bool) {
+	l, ok := p.byColor[c]
+	return l, ok
+}
+
+// Render rasterises the symbolic image: each object's MBR is filled with
+// its palette colour, later objects painting over earlier ones. The
+// returned raster is (XMax+1) x (YMax+1) so boundary coordinates are
+// representable as pixels.
+func Render(img core.Image, p *Palette) (*image.RGBA, error) {
+	if err := img.Validate(); err != nil {
+		return nil, fmt.Errorf("render: %w", err)
+	}
+	out := image.NewRGBA(image.Rect(0, 0, img.XMax+1, img.YMax+1))
+	for _, o := range img.Objects {
+		c, ok := p.Color(o.Label)
+		if !ok {
+			return nil, fmt.Errorf("render: label %q not in palette", o.Label)
+		}
+		for y := o.Box.Y0; y <= o.Box.Y1; y++ {
+			for x := o.Box.X0; x <= o.Box.X1; x++ {
+				out.SetRGBA(x, y, c)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Extract recovers labelled MBRs from a raster produced by Render (or any
+// raster whose icon regions are uniform palette colours): pixels are
+// grouped by colour class, each class's bounding box becomes the object's
+// MBR. Occluded objects (fully painted over) are absent from the result,
+// exactly as a real icon detector would miss them.
+func Extract(raster image.Image, p *Palette) ([]core.Object, error) {
+	if raster == nil {
+		return nil, fmt.Errorf("extract: nil raster")
+	}
+	bounds := raster.Bounds()
+	type box struct {
+		x0, y0, x1, y1 int
+		seen           bool
+	}
+	boxes := make(map[string]*box)
+	for y := bounds.Min.Y; y < bounds.Max.Y; y++ {
+		for x := bounds.Min.X; x < bounds.Max.X; x++ {
+			r, g, b, a := raster.At(x, y).RGBA()
+			if a == 0 {
+				continue // background
+			}
+			c := color.RGBA{R: uint8(r >> 8), G: uint8(g >> 8), B: uint8(b >> 8), A: uint8(a >> 8)}
+			label, ok := p.Label(c)
+			if !ok {
+				continue // foreign colour: not an icon
+			}
+			bx, ok := boxes[label]
+			if !ok {
+				boxes[label] = &box{x0: x, y0: y, x1: x, y1: y, seen: true}
+				continue
+			}
+			bx.x0 = min(bx.x0, x)
+			bx.y0 = min(bx.y0, y)
+			bx.x1 = max(bx.x1, x)
+			bx.y1 = max(bx.y1, y)
+		}
+	}
+	labels := make([]string, 0, len(boxes))
+	for label := range boxes {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	out := make([]core.Object, 0, len(labels))
+	for _, label := range labels {
+		b := boxes[label]
+		out = append(out, core.Object{Label: label, Box: core.NewRect(b.x0, b.y0, b.x1, b.y1)})
+	}
+	return out, nil
+}
+
+// ExtractImage runs Extract and assembles a symbolic image with the given
+// canvas size.
+func ExtractImage(raster image.Image, p *Palette, xmax, ymax int) (core.Image, error) {
+	objs, err := Extract(raster, p)
+	if err != nil {
+		return core.Image{}, err
+	}
+	img := core.NewImage(xmax, ymax, objs...)
+	if err := img.Validate(); err != nil {
+		return core.Image{}, fmt.Errorf("extract: %w", err)
+	}
+	return img, nil
+}
+
+// EncodePNG writes the raster as PNG.
+func EncodePNG(w io.Writer, raster image.Image) error {
+	if err := png.Encode(w, raster); err != nil {
+		return fmt.Errorf("encode png: %w", err)
+	}
+	return nil
+}
+
+// DecodePNG reads a PNG raster.
+func DecodePNG(r io.Reader) (image.Image, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("decode png: %w", err)
+	}
+	return img, nil
+}
+
+// ASCII renders the symbolic image as monospace art for terminal demos:
+// each object is drawn as its label's first rune over its MBR, later
+// objects over earlier, scaled into a cols x rows grid.
+func ASCII(img core.Image, cols, rows int) string {
+	if cols < 2 || rows < 2 || img.XMax <= 0 || img.YMax <= 0 {
+		return ""
+	}
+	grid := make([][]rune, rows)
+	for i := range grid {
+		grid[i] = make([]rune, cols)
+		for j := range grid[i] {
+			grid[i][j] = '.'
+		}
+	}
+	scaleX := func(x int) int {
+		c := x * (cols - 1) / img.XMax
+		return c
+	}
+	scaleY := func(y int) int {
+		r := y * (rows - 1) / img.YMax
+		return r
+	}
+	for _, o := range img.Objects {
+		ch := []rune(o.Label)[0]
+		for r := scaleY(o.Box.Y0); r <= scaleY(o.Box.Y1); r++ {
+			for c := scaleX(o.Box.X0); c <= scaleX(o.Box.X1); c++ {
+				grid[r][c] = ch
+			}
+		}
+	}
+	out := make([]byte, 0, rows*(cols+1))
+	// Row 0 is the bottom of the image (y grows upward in the model), so
+	// print top-down.
+	for r := rows - 1; r >= 0; r-- {
+		out = append(out, string(grid[r])...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}

@@ -1,0 +1,218 @@
+package segment
+
+import (
+	"bytes"
+	"image/color"
+	"strings"
+	"testing"
+
+	"bestring/internal/core"
+	"bestring/internal/workload"
+)
+
+func TestPaletteAssignsDistinctColors(t *testing.T) {
+	labels := make([]string, 100)
+	for i := range labels {
+		labels[i] = workload.ClassLabel(i)
+	}
+	p, err := NewPalette(labels)
+	if err != nil {
+		t.Fatalf("NewPalette: %v", err)
+	}
+	seen := make(map[color.RGBA]bool)
+	for _, l := range labels {
+		c, ok := p.Color(l)
+		if !ok {
+			t.Fatalf("no colour for %q", l)
+		}
+		if c.A != 255 {
+			t.Fatalf("colour for %q not opaque", l)
+		}
+		if seen[c] {
+			t.Fatalf("duplicate colour for %q", l)
+		}
+		seen[c] = true
+		back, ok := p.Label(c)
+		if !ok || back != l {
+			t.Fatalf("label round trip failed for %q", l)
+		}
+	}
+}
+
+func TestPaletteErrors(t *testing.T) {
+	if _, err := NewPalette([]string{"a", "a"}); err == nil {
+		t.Error("duplicate labels accepted")
+	}
+	if _, err := NewPalette([]string{""}); err == nil {
+		t.Error("empty label accepted")
+	}
+}
+
+func TestRenderExtractRoundTrip(t *testing.T) {
+	// Non-overlapping objects: extraction must recover every MBR exactly.
+	img := core.NewImage(40, 30,
+		core.Object{Label: "house", Box: core.NewRect(2, 3, 10, 12)},
+		core.Object{Label: "tree", Box: core.NewRect(15, 5, 20, 25)},
+		core.Object{Label: "car", Box: core.NewRect(25, 1, 38, 8)},
+	)
+	p, err := NewPalette(img.Labels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raster, err := Render(img, p)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	back, err := ExtractImage(raster, p, img.XMax, img.YMax)
+	if err != nil {
+		t.Fatalf("ExtractImage: %v", err)
+	}
+	if len(back.Objects) != 3 {
+		t.Fatalf("extracted %d objects, want 3", len(back.Objects))
+	}
+	for _, o := range img.Objects {
+		got, ok := back.Find(o.Label)
+		if !ok {
+			t.Fatalf("object %q lost in round trip", o.Label)
+		}
+		if got.Box != o.Box {
+			t.Errorf("object %q: box %v, want %v", o.Label, got.Box, o.Box)
+		}
+	}
+	// The full pipeline: BE-strings must agree too.
+	if !core.MustConvert(back).Equal(core.MustConvert(img)) {
+		t.Error("BE-string differs after raster round trip")
+	}
+}
+
+func TestRenderExtractRandomScenesDisjoint(t *testing.T) {
+	// Grid scenes are non-overlapping, so round trips are exact.
+	g := workload.NewGenerator(workload.Config{Seed: 4, Width: 60, Height: 60, Vocabulary: 64})
+	img := g.GridScene(4, 4)
+	p, err := NewPalette(img.Labels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raster, err := Render(img, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ExtractImage(raster, p, img.XMax, img.YMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Objects) != len(img.Objects) {
+		t.Fatalf("extracted %d objects, want %d", len(back.Objects), len(img.Objects))
+	}
+	for _, o := range img.Objects {
+		got, _ := back.Find(o.Label)
+		if got.Box != o.Box {
+			t.Errorf("object %q: box %v, want %v", o.Label, got.Box, o.Box)
+		}
+	}
+}
+
+func TestOcclusionShrinksOrHidesObjects(t *testing.T) {
+	// B paints completely over A: A must disappear from extraction.
+	img := core.NewImage(20, 20,
+		core.Object{Label: "A", Box: core.NewRect(5, 5, 8, 8)},
+		core.Object{Label: "B", Box: core.NewRect(4, 4, 9, 9)},
+	)
+	p, err := NewPalette(img.Labels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raster, err := Render(img, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := Extract(raster, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 || objs[0].Label != "B" {
+		t.Errorf("extracted %v, want only B (A occluded)", objs)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	p, err := NewPalette([]string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Render(core.NewImage(10, 10), p); err == nil {
+		t.Error("invalid image accepted")
+	}
+	img := core.NewImage(10, 10, core.Object{Label: "Z", Box: core.NewRect(0, 0, 2, 2)})
+	if _, err := Render(img, p); err == nil {
+		t.Error("label missing from palette accepted")
+	}
+}
+
+func TestExtractNil(t *testing.T) {
+	p, _ := NewPalette([]string{"A"})
+	if _, err := Extract(nil, p); err == nil {
+		t.Error("nil raster accepted")
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	img := core.Figure1Image()
+	p, err := NewPalette(img.Labels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raster, err := Render(img, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodePNG(&buf, raster); err != nil {
+		t.Fatalf("EncodePNG: %v", err)
+	}
+	decoded, err := DecodePNG(&buf)
+	if err != nil {
+		t.Fatalf("DecodePNG: %v", err)
+	}
+	back, err := ExtractImage(decoded, p, img.XMax, img.YMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C overlaps A and B in Figure 1; every label still present (C painted
+	// last, A and B only partially covered).
+	for _, l := range []string{"A", "B", "C"} {
+		if _, ok := back.Find(l); !ok {
+			t.Errorf("object %q lost in PNG round trip", l)
+		}
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	img := core.NewImage(10, 10,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 4, 4)},
+		core.Object{Label: "B", Box: core.NewRect(6, 6, 9, 9)},
+	)
+	art := ASCII(img, 20, 10)
+	if art == "" {
+		t.Fatal("empty ASCII art")
+	}
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("lines = %d, want 10", len(lines))
+	}
+	// A occupies the bottom-left (last lines), B the upper-right. With
+	// floor scaling, B's top edge (y=9 of ymax=10) lands on grid row 8,
+	// which prints as the second line from the top.
+	if !strings.Contains(lines[len(lines)-1], "A") {
+		t.Error("bottom row should contain A")
+	}
+	if !strings.Contains(lines[1], "B") {
+		t.Error("second row should contain B")
+	}
+	if strings.Contains(lines[0], "A") || strings.Contains(lines[1], "A") {
+		t.Error("top rows should not contain A")
+	}
+	if ASCII(core.Image{}, 10, 10) != "" {
+		t.Error("degenerate canvas should yield empty art")
+	}
+}

@@ -1,0 +1,220 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bestring/internal/core"
+)
+
+func randomImage(seed int) core.Image {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	const xmax, ymax = 32, 24
+	n := 1 + rng.Intn(8)
+	objs := make([]core.Object, 0, n)
+	for i := 0; i < n; i++ {
+		x0 := rng.Intn(xmax)
+		y0 := rng.Intn(ymax)
+		objs = append(objs, core.Object{
+			Label: fmt.Sprintf("O%d", i),
+			Box:   core.NewRect(x0, y0, x0+rng.Intn(xmax-x0+1), y0+rng.Intn(ymax-y0+1)),
+		})
+	}
+	return core.NewImage(xmax, ymax, objs...)
+}
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	f := func(seed uint8) bool {
+		be := core.MustConvert(randomImage(int(seed)))
+		s := Evaluate(be, be)
+		return s.Query == 1 && s.DB == 1 && s.F == 1 && Identical(be, be)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreRangesAndSymmetry(t *testing.T) {
+	f := func(s1, s2 uint8) bool {
+		a := core.MustConvert(randomImage(int(s1)))
+		b := core.MustConvert(randomImage(int(s2)))
+		sab, sba := Evaluate(a, b), Evaluate(b, a)
+		inRange := func(v float64) bool { return v >= 0 && v <= 1+1e-12 }
+		if !inRange(sab.Query) || !inRange(sab.DB) || !inRange(sab.F) {
+			return false
+		}
+		// Swapping query and database swaps the two normalisations and
+		// preserves the harmonic score.
+		return sab.LX == sba.LX && sab.LY == sba.LY &&
+			math.Abs(sab.F-sba.F) < 1e-12 &&
+			math.Abs(sab.Query-sba.DB) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartialQueryScoresBetween(t *testing.T) {
+	// Dropping an object from the query must keep Query-similarity at 1
+	// (everything the query asks for is present) while DB-similarity drops
+	// below 1 (the image has unexplained content).
+	full := core.Figure1Image()
+	partialImg, _ := full.WithoutObject("B")
+	q := core.MustConvert(partialImg)
+	d := core.MustConvert(full)
+	s := Evaluate(q, d)
+	if s.Query != 1 {
+		t.Errorf("Query similarity = %v, want 1 (partial query fully contained)", s.Query)
+	}
+	if s.DB >= 1 {
+		t.Errorf("DB similarity = %v, want < 1", s.DB)
+	}
+	if s.F <= 0 || s.F >= 1 {
+		t.Errorf("F = %v, want within (0,1)", s.F)
+	}
+}
+
+func TestSubqueryContainmentScoresQueryOne(t *testing.T) {
+	// Property: a query built from a subset of an image's objects is always
+	// fully explained by that image (Query == 1). This is the paper's
+	// "partial icons still retrieved" guarantee in its strongest form.
+	f := func(seed uint8) bool {
+		img := randomImage(int(seed))
+		if len(img.Objects) < 2 {
+			return true
+		}
+		sub, _ := img.WithoutObject(img.Objects[int(seed)%len(img.Objects)].Label)
+		q := core.MustConvert(sub)
+		d := core.MustConvert(img)
+		return Evaluate(q, d).Query == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisturbedRelationScoresLower(t *testing.T) {
+	// Same icons, different spatial arrangement: score must drop below 1
+	// but stay above 0 (icons still match).
+	a := core.NewImage(10, 10,
+		core.Object{Label: "A", Box: core.NewRect(1, 1, 3, 3)},
+		core.Object{Label: "B", Box: core.NewRect(5, 5, 8, 8)},
+	)
+	b := core.NewImage(10, 10,
+		core.Object{Label: "A", Box: core.NewRect(5, 5, 8, 8)},
+		core.Object{Label: "B", Box: core.NewRect(1, 1, 3, 3)},
+	)
+	s := Evaluate(core.MustConvert(a), core.MustConvert(b))
+	if s.F >= 1 || s.F <= 0 {
+		t.Errorf("rearranged icons: F = %v, want strictly between 0 and 1", s.F)
+	}
+}
+
+func TestUnrelatedImagesScoreLow(t *testing.T) {
+	a := core.NewImage(10, 10, core.Object{Label: "A", Box: core.NewRect(1, 1, 3, 3)})
+	b := core.NewImage(10, 10, core.Object{Label: "Z", Box: core.NewRect(5, 5, 8, 8)})
+	s := Evaluate(core.MustConvert(a), core.MustConvert(b))
+	// Only dummies can align.
+	if s.F > 0.5 {
+		t.Errorf("unrelated images: F = %v, want small", s.F)
+	}
+}
+
+func TestEvaluateInvariantFindsRotation(t *testing.T) {
+	base := core.MustConvert(randomImage(17))
+	for _, tr := range core.AllTransforms {
+		db := base.Apply(tr)
+		inv := EvaluateInvariant(base, db, nil)
+		if inv.F != 1 {
+			t.Errorf("transform %v: invariant score = %v, want 1", tr, inv.F)
+		}
+	}
+}
+
+func TestEvaluateInvariantIdentifiesTransform(t *testing.T) {
+	// For an asymmetric image, the best transform should map the query onto
+	// the transformed database image exactly.
+	img := core.NewImage(20, 10,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 3, 2)},
+		core.Object{Label: "B", Box: core.NewRect(10, 4, 18, 9)},
+		core.Object{Label: "C", Box: core.NewRect(5, 1, 7, 3)},
+	)
+	q := core.MustConvert(img)
+	db := q.Rotate90CW()
+	inv := EvaluateInvariant(q, db, nil)
+	if inv.F != 1 {
+		t.Fatalf("invariant score = %v, want 1", inv.F)
+	}
+	if got := q.Apply(inv.Transform); !got.Equal(db) {
+		t.Errorf("reported transform %v does not map query onto database", inv.Transform)
+	}
+}
+
+func TestEvaluateInvariantRestrictedSet(t *testing.T) {
+	img := core.NewImage(20, 10,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 3, 2)},
+		core.Object{Label: "B", Box: core.NewRect(10, 4, 18, 9)},
+	)
+	q := core.MustConvert(img)
+	db := q.Rotate180()
+	onlyIdentity := EvaluateInvariant(q, db, []core.Transform{core.Identity})
+	all := EvaluateInvariant(q, db, nil)
+	if onlyIdentity.F >= all.F {
+		t.Errorf("restricted transform set should score lower: %v vs %v", onlyIdentity.F, all.F)
+	}
+	if all.Transform != core.Rot180 {
+		t.Errorf("best transform = %v, want rot180", all.Transform)
+	}
+}
+
+func TestExplainConsistentWithEvaluate(t *testing.T) {
+	f := func(s1, s2 uint8) bool {
+		q := core.MustConvert(randomImage(int(s1)))
+		d := core.MustConvert(randomImage(int(s2)))
+		m := Explain(q, d)
+		s := Evaluate(q, d)
+		return m.Score == s && len(m.X) == m.LX && len(m.Y) == m.LY
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateSymbolsOnlyIgnoresDummies(t *testing.T) {
+	// Two images whose symbol orders agree but whose gap structure differs:
+	// symbols-only sees them as identical, the full evaluator does not.
+	a := core.NewImage(10, 10,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 4, 4)},
+		core.Object{Label: "B", Box: core.NewRect(4, 4, 10, 10)}, // adjoining
+	)
+	b := core.NewImage(10, 10,
+		core.Object{Label: "A", Box: core.NewRect(0, 0, 3, 3)},
+		core.Object{Label: "B", Box: core.NewRect(6, 6, 10, 10)}, // gap
+	)
+	qa, qb := core.MustConvert(a), core.MustConvert(b)
+	if s := EvaluateSymbolsOnly(qa, qb); s.F != 1 {
+		t.Errorf("symbols-only F = %v, want 1", s.F)
+	}
+	if s := Evaluate(qa, qb); s.F >= 1 {
+		t.Errorf("full evaluation F = %v, want < 1 (gap structure differs)", s.F)
+	}
+}
+
+func TestIdenticalDetectsDifference(t *testing.T) {
+	a := core.MustConvert(core.Figure1Image())
+	shrunk, _ := core.Figure1Image().WithoutObject("C")
+	b := core.MustConvert(shrunk)
+	if Identical(a, b) {
+		t.Error("Identical should be false for different images")
+	}
+}
+
+func TestZeroLengthScores(t *testing.T) {
+	s := Evaluate(core.BEString{}, core.BEString{})
+	if s.Query != 0 || s.DB != 0 || s.F != 0 {
+		t.Errorf("empty strings: %+v, want all zeros", s)
+	}
+}

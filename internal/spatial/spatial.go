@@ -1,0 +1,267 @@
+// Package spatial classifies the pairwise spatial relationships between
+// MBRs that the 2-D string family (2-D string, 2D G-/C-/B-string) reasons
+// about: Allen's 13 interval relations per axis, giving the 13x13 = 169
+// two-dimensional relations, plus the coarser categories used by the
+// type-0/1/2 similarity definitions.
+package spatial
+
+import "fmt"
+
+// Interval is a 1-D projection [Lo, Hi] of an MBR (Lo <= Hi; degenerate
+// point intervals allowed).
+type Interval struct {
+	Lo int
+	Hi int
+}
+
+// Relation is one of Allen's 13 interval relations, "a <relation> b".
+type Relation uint8
+
+// The 13 Allen relations. Inverses are paired: Before/After, Meets/MetBy,
+// Overlaps/OverlappedBy, Starts/StartedBy, During/Contains,
+// Finishes/FinishedBy; Equals is its own inverse.
+const (
+	Before       Relation = iota + 1 // a ends strictly before b begins
+	Meets                            // a ends exactly where b begins
+	Overlaps                         // a begins first, they partially overlap
+	Starts                           // same begin, a ends first
+	During                           // a strictly inside b
+	Finishes                         // same end, a begins later
+	Equals                           // identical projections
+	FinishedBy                       // same end, a begins first (inverse Finishes)
+	Contains                         // b strictly inside a (inverse During)
+	StartedBy                        // same begin, a ends later (inverse Starts)
+	OverlappedBy                     // b begins first, partial overlap (inverse Overlaps)
+	MetBy                            // b ends exactly where a begins (inverse Meets)
+	After                            // b ends strictly before a begins (inverse Before)
+)
+
+// AllRelations lists the 13 relations in declaration order.
+var AllRelations = []Relation{
+	Before, Meets, Overlaps, Starts, During, Finishes, Equals,
+	FinishedBy, Contains, StartedBy, OverlappedBy, MetBy, After,
+}
+
+// String names the relation.
+func (r Relation) String() string {
+	switch r {
+	case Before:
+		return "before"
+	case Meets:
+		return "meets"
+	case Overlaps:
+		return "overlaps"
+	case Starts:
+		return "starts"
+	case During:
+		return "during"
+	case Finishes:
+		return "finishes"
+	case Equals:
+		return "equals"
+	case FinishedBy:
+		return "finished-by"
+	case Contains:
+		return "contains"
+	case StartedBy:
+		return "started-by"
+	case OverlappedBy:
+		return "overlapped-by"
+	case MetBy:
+		return "met-by"
+	case After:
+		return "after"
+	default:
+		return fmt.Sprintf("Relation(%d)", uint8(r))
+	}
+}
+
+// Inverse returns the relation of (b, a) given the relation of (a, b).
+func (r Relation) Inverse() Relation {
+	switch r {
+	case Before:
+		return After
+	case Meets:
+		return MetBy
+	case Overlaps:
+		return OverlappedBy
+	case Starts:
+		return StartedBy
+	case During:
+		return Contains
+	case Finishes:
+		return FinishedBy
+	case FinishedBy:
+		return Finishes
+	case Contains:
+		return During
+	case StartedBy:
+		return Starts
+	case OverlappedBy:
+		return Overlaps
+	case MetBy:
+		return Meets
+	case After:
+		return Before
+	default:
+		return r // Equals and invalid values are self-inverse
+	}
+}
+
+func cmp(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Classify returns the Allen relation of a with respect to b. Degenerate
+// (point) intervals are classified by the same decision tree, preferring
+// begin/end equality over meets (so a point at b's begin "starts" b).
+func Classify(a, b Interval) Relation {
+	lo, hi := cmp(a.Lo, b.Lo), cmp(a.Hi, b.Hi)
+	switch {
+	case lo == 0 && hi == 0:
+		return Equals
+	case lo == 0 && hi < 0:
+		return Starts
+	case lo == 0:
+		return StartedBy
+	case hi == 0 && lo > 0:
+		return Finishes
+	case hi == 0:
+		return FinishedBy
+	case lo < 0 && hi > 0:
+		return Contains
+	case lo > 0 && hi < 0:
+		return During
+	case lo < 0: // hi < 0: a begins and ends first
+		switch cmp(a.Hi, b.Lo) {
+		case -1:
+			return Before
+		case 0:
+			return Meets
+		default:
+			return Overlaps
+		}
+	default: // lo > 0, hi > 0: b begins and ends first
+		switch cmp(b.Hi, a.Lo) {
+		case -1:
+			return After
+		case 0:
+			return MetBy
+		default:
+			return OverlappedBy
+		}
+	}
+}
+
+// Category is the 5-way coarsening of Allen relations that the 2D G-string
+// literature splits into "global" (disjoint/adjoin/same-position) and
+// "local" (partial overlap / containment) operator sets.
+type Category uint8
+
+// Relation categories.
+const (
+	CatDisjoint    Category = iota + 1 // before / after
+	CatAdjoin                          // meets / met-by
+	CatPartial                         // overlaps / overlapped-by
+	CatContainment                     // during/contains/starts/started-by/finishes/finished-by
+	CatEqual                           // equals
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CatDisjoint:
+		return "disjoint"
+	case CatAdjoin:
+		return "adjoin"
+	case CatPartial:
+		return "partial-overlap"
+	case CatContainment:
+		return "containment"
+	case CatEqual:
+		return "equal"
+	default:
+		return fmt.Sprintf("Category(%d)", uint8(c))
+	}
+}
+
+// Category returns the coarse class of the relation.
+func (r Relation) Category() Category {
+	switch r {
+	case Before, After:
+		return CatDisjoint
+	case Meets, MetBy:
+		return CatAdjoin
+	case Overlaps, OverlappedBy:
+		return CatPartial
+	case Equals:
+		return CatEqual
+	default:
+		return CatContainment
+	}
+}
+
+// Orientation is the relative order of the two begin boundaries — the
+// weakest signal the type-0 similarity level uses.
+type Orientation uint8
+
+// Orientations of a's begin relative to b's begin.
+const (
+	BeginBefore Orientation = iota + 1
+	BeginSame
+	BeginAfter
+)
+
+// String names the orientation.
+func (o Orientation) String() string {
+	switch o {
+	case BeginBefore:
+		return "begin-before"
+	case BeginSame:
+		return "begin-same"
+	case BeginAfter:
+		return "begin-after"
+	default:
+		return fmt.Sprintf("Orientation(%d)", uint8(o))
+	}
+}
+
+// Orientation returns the begin-boundary order implied by the relation.
+// Every Allen relation determines it uniquely.
+func (r Relation) Orientation() Orientation {
+	switch r {
+	case Before, Meets, Overlaps, FinishedBy, Contains:
+		return BeginBefore
+	case Starts, StartedBy, Equals:
+		return BeginSame
+	default:
+		return BeginAfter
+	}
+}
+
+// Pair is the two-dimensional spatial relation of an ordered object pair:
+// the Allen relation of their x-projections and of their y-projections
+// (one of the 169 combinations).
+type Pair struct {
+	X Relation
+	Y Relation
+}
+
+// Inverse returns the relation of the reversed pair.
+func (p Pair) Inverse() Pair { return Pair{X: p.X.Inverse(), Y: p.Y.Inverse()} }
+
+// String renders "x:<rel> y:<rel>".
+func (p Pair) String() string { return "x:" + p.X.String() + " y:" + p.Y.String() }
+
+// XProj returns the x-axis projection interval of a rectangle-like value.
+func XProj(x0, x1 int) Interval { return Interval{Lo: x0, Hi: x1} }
+
+// YProj returns the y-axis projection interval.
+func YProj(y0, y1 int) Interval { return Interval{Lo: y0, Hi: y1} }

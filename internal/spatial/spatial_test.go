@@ -1,0 +1,197 @@
+package spatial
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyKnownCases(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Interval
+		want Relation
+	}{
+		{"before", Interval{0, 2}, Interval{5, 9}, Before},
+		{"meets", Interval{0, 5}, Interval{5, 9}, Meets},
+		{"overlaps", Interval{0, 6}, Interval{5, 9}, Overlaps},
+		{"starts", Interval{5, 7}, Interval{5, 9}, Starts},
+		{"during", Interval{6, 8}, Interval{5, 9}, During},
+		{"finishes", Interval{7, 9}, Interval{5, 9}, Finishes},
+		{"equals", Interval{5, 9}, Interval{5, 9}, Equals},
+		{"finished-by", Interval{5, 9}, Interval{7, 9}, FinishedBy},
+		{"contains", Interval{5, 9}, Interval{6, 8}, Contains},
+		{"started-by", Interval{5, 9}, Interval{5, 7}, StartedBy},
+		{"overlapped-by", Interval{5, 9}, Interval{0, 6}, OverlappedBy},
+		{"met-by", Interval{5, 9}, Interval{0, 5}, MetBy},
+		{"after", Interval{5, 9}, Interval{0, 2}, After},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Classify(tt.a, tt.b); got != tt.want {
+				t.Errorf("Classify(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClassifyDegenerate(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Interval
+		want Relation
+	}{
+		{"point starts interval", Interval{5, 5}, Interval{5, 9}, Starts},
+		{"point finishes interval", Interval{9, 9}, Interval{5, 9}, Finishes},
+		{"point during interval", Interval{7, 7}, Interval{5, 9}, During},
+		{"point equals point", Interval{5, 5}, Interval{5, 5}, Equals},
+		{"point before point", Interval{3, 3}, Interval{5, 5}, Before},
+		{"point meets nothing (distinct points)", Interval{5, 5}, Interval{6, 6}, Before},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Classify(tt.a, tt.b); got != tt.want {
+				t.Errorf("Classify(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestClassifyInverseConsistency: Classify(b, a) must equal the declared
+// inverse of Classify(a, b), for all interval pairs.
+func TestClassifyInverseConsistency(t *testing.T) {
+	f := func(alo, alen, blo, blen uint8) bool {
+		a := Interval{int(alo), int(alo) + int(alen)}
+		b := Interval{int(blo), int(blo) + int(blen)}
+		return Classify(b, a) == Classify(a, b).Inverse()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseIsInvolution(t *testing.T) {
+	for _, r := range AllRelations {
+		if got := r.Inverse().Inverse(); got != r {
+			t.Errorf("%v: double inverse = %v", r, got)
+		}
+	}
+}
+
+func TestExactlyOneRelationHolds(t *testing.T) {
+	// Classification is total and deterministic: re-classifying the same
+	// pair always returns the same single relation, and every one of the 13
+	// relations is reachable.
+	seen := make(map[Relation]bool)
+	for alo := 0; alo <= 4; alo++ {
+		for ahi := alo; ahi <= 4; ahi++ {
+			for blo := 0; blo <= 4; blo++ {
+				for bhi := blo; bhi <= 4; bhi++ {
+					r := Classify(Interval{alo, ahi}, Interval{blo, bhi})
+					if r < Before || r > After {
+						t.Fatalf("Classify returned invalid relation %v", r)
+					}
+					seen[r] = true
+				}
+			}
+		}
+	}
+	for _, r := range AllRelations {
+		if !seen[r] {
+			t.Errorf("relation %v never produced over exhaustive small intervals", r)
+		}
+	}
+}
+
+func TestCategoryCoarsening(t *testing.T) {
+	wantCat := map[Relation]Category{
+		Before: CatDisjoint, After: CatDisjoint,
+		Meets: CatAdjoin, MetBy: CatAdjoin,
+		Overlaps: CatPartial, OverlappedBy: CatPartial,
+		Equals: CatEqual,
+		During: CatContainment, Contains: CatContainment,
+		Starts: CatContainment, StartedBy: CatContainment,
+		Finishes: CatContainment, FinishedBy: CatContainment,
+	}
+	for r, want := range wantCat {
+		if got := r.Category(); got != want {
+			t.Errorf("%v.Category() = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestCategoryInverseInvariant(t *testing.T) {
+	// A relation and its inverse always share a category.
+	for _, r := range AllRelations {
+		if r.Category() != r.Inverse().Category() {
+			t.Errorf("%v and its inverse differ in category", r)
+		}
+	}
+}
+
+func TestOrientationConsistency(t *testing.T) {
+	// Orientation derived from the relation must agree with directly
+	// comparing the begin coordinates.
+	f := func(alo, alen, blo, blen uint8) bool {
+		a := Interval{int(alo), int(alo) + int(alen)}
+		b := Interval{int(blo), int(blo) + int(blen)}
+		var want Orientation
+		switch {
+		case a.Lo < b.Lo:
+			want = BeginBefore
+		case a.Lo > b.Lo:
+			want = BeginAfter
+		default:
+			want = BeginSame
+		}
+		return Classify(a, b).Orientation() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientationInverseFlips(t *testing.T) {
+	for _, r := range AllRelations {
+		o, oi := r.Orientation(), r.Inverse().Orientation()
+		switch o {
+		case BeginBefore:
+			if oi != BeginAfter {
+				t.Errorf("%v: inverse orientation = %v, want begin-after", r, oi)
+			}
+		case BeginAfter:
+			if oi != BeginBefore {
+				t.Errorf("%v: inverse orientation = %v, want begin-before", r, oi)
+			}
+		case BeginSame:
+			if oi != BeginSame {
+				t.Errorf("%v: inverse orientation = %v, want begin-same", r, oi)
+			}
+		}
+	}
+}
+
+func TestPairInverse(t *testing.T) {
+	p := Pair{X: Before, Y: Contains}
+	inv := p.Inverse()
+	if inv.X != After || inv.Y != During {
+		t.Errorf("Pair inverse = %v", inv)
+	}
+}
+
+func TestStringsAreNamed(t *testing.T) {
+	for _, r := range AllRelations {
+		if s := r.String(); len(s) == 0 || s[0] == 'R' {
+			t.Errorf("relation %d has no name: %q", r, s)
+		}
+	}
+	for _, c := range []Category{CatDisjoint, CatAdjoin, CatPartial, CatContainment, CatEqual} {
+		if s := c.String(); len(s) == 0 || s[0] == 'C' {
+			t.Errorf("category %d has no name: %q", c, s)
+		}
+	}
+	for _, o := range []Orientation{BeginBefore, BeginSame, BeginAfter} {
+		if s := o.String(); len(s) == 0 || s[0] == 'O' {
+			t.Errorf("orientation %d has no name: %q", o, s)
+		}
+	}
+}

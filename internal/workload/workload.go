@@ -1,0 +1,231 @@
+// Package workload generates the synthetic symbolic-image datasets and
+// query workloads used by the experiments and examples. The paper evaluated
+// on a hand-collected demo image set (section 5); since the 2D BE-string
+// model consumes only labelled MBRs, seeded generators with controllable
+// object count, vocabulary, density and perturbation exercise the identical
+// code paths reproducibly (see DESIGN.md, substitutions).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bestring/internal/core"
+)
+
+// Config parameterises scene generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Width and Height are the canvas size (XMax, YMax). Default 100x100.
+	Width  int
+	Height int
+	// Objects is the number of icon objects per scene. Default 8.
+	Objects int
+	// Vocabulary is the number of distinct icon classes to draw labels
+	// from. Labels are "icon00".."iconNN". Objects within one scene get
+	// distinct instance labels by suffixing when a class repeats would
+	// collide; see Generator.Scene. Default 16.
+	Vocabulary int
+	// MaxExtent bounds each object's width/height. Default: canvas/4.
+	MaxExtent int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Width == 0 {
+		c.Width = 100
+	}
+	if c.Height == 0 {
+		c.Height = 100
+	}
+	if c.Objects == 0 {
+		c.Objects = 8
+	}
+	if c.Vocabulary == 0 {
+		c.Vocabulary = 16
+	}
+	if c.MaxExtent == 0 {
+		c.MaxExtent = max(c.Width, c.Height) / 4
+		if c.MaxExtent < 1 {
+			c.MaxExtent = 1
+		}
+	}
+	return c
+}
+
+// Generator produces scenes and query perturbations from a seeded stream.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewGenerator returns a generator for the config (zero fields defaulted).
+func NewGenerator(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// ClassLabel returns the label of icon class i ("icon03").
+func ClassLabel(i int) string { return fmt.Sprintf("icon%02d", i) }
+
+// Scene generates one random scene. Each object draws an icon class from
+// the vocabulary without replacement within the scene (scenes never repeat
+// a class, keeping labels unique as the model requires); if Objects exceeds
+// Vocabulary, the object count is capped at the vocabulary size.
+func (g *Generator) Scene() core.Image {
+	n := g.cfg.Objects
+	if n > g.cfg.Vocabulary {
+		n = g.cfg.Vocabulary
+	}
+	classes := g.rng.Perm(g.cfg.Vocabulary)[:n]
+	objs := make([]core.Object, 0, n)
+	for _, c := range classes {
+		objs = append(objs, core.Object{Label: ClassLabel(c), Box: g.randomBox()})
+	}
+	return core.NewImage(g.cfg.Width, g.cfg.Height, objs...)
+}
+
+// SceneWithObjects generates a scene with exactly n objects, overriding
+// the configured count (n is capped at the vocabulary size).
+func (g *Generator) SceneWithObjects(n int) core.Image {
+	saved := g.cfg.Objects
+	g.cfg.Objects = n
+	img := g.Scene()
+	g.cfg.Objects = saved
+	return img
+}
+
+// randomBox returns a random MBR within the canvas respecting MaxExtent.
+func (g *Generator) randomBox() core.Rect {
+	w := 1 + g.rng.Intn(g.cfg.MaxExtent)
+	h := 1 + g.rng.Intn(g.cfg.MaxExtent)
+	if w > g.cfg.Width {
+		w = g.cfg.Width
+	}
+	if h > g.cfg.Height {
+		h = g.cfg.Height
+	}
+	x0 := g.rng.Intn(g.cfg.Width - w + 1)
+	y0 := g.rng.Intn(g.cfg.Height - h + 1)
+	return core.NewRect(x0, y0, x0+w, y0+h)
+}
+
+// Dataset generates count scenes.
+func (g *Generator) Dataset(count int) []core.Image {
+	out := make([]core.Image, count)
+	for i := range out {
+		out[i] = g.Scene()
+	}
+	return out
+}
+
+// GridScene lays objects on a regular grid with one cell of padding — the
+// fully-distinct-boundaries workload (the BE-string's 4n+1 worst case).
+func (g *Generator) GridScene(cols, rows int) core.Image {
+	cellW := g.cfg.Width / max(cols, 1)
+	cellH := g.cfg.Height / max(rows, 1)
+	var objs []core.Object
+	idx := 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if idx >= g.cfg.Vocabulary {
+				break
+			}
+			x0 := c*cellW + 1
+			y0 := r*cellH + 1
+			x1 := x0 + max(cellW-2, 0)
+			y1 := y0 + max(cellH-2, 0)
+			if x1 > g.cfg.Width {
+				x1 = g.cfg.Width
+			}
+			if y1 > g.cfg.Height {
+				y1 = g.cfg.Height
+			}
+			objs = append(objs, core.Object{Label: ClassLabel(idx), Box: core.NewRect(x0, y0, x1, y1)})
+			idx++
+		}
+	}
+	return core.NewImage(g.cfg.Width, g.cfg.Height, objs...)
+}
+
+// SubsetQuery derives a partial query from a scene: keep objects of the
+// scene (at least one, at most keep), preserving their boxes. This models
+// the paper's "only partial of the query targets are certain" scenario.
+func (g *Generator) SubsetQuery(scene core.Image, keep int) core.Image {
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > len(scene.Objects) {
+		keep = len(scene.Objects)
+	}
+	idxs := g.rng.Perm(len(scene.Objects))[:keep]
+	objs := make([]core.Object, 0, keep)
+	for _, i := range idxs {
+		objs = append(objs, scene.Objects[i])
+	}
+	return core.NewImage(scene.XMax, scene.YMax, objs...)
+}
+
+// JitterQuery perturbs every object's MBR by up to amount in each
+// direction (clamped to the canvas), modelling uncertain spatial
+// relationships in the query.
+func (g *Generator) JitterQuery(scene core.Image, amount int) core.Image {
+	objs := make([]core.Object, len(scene.Objects))
+	for i, o := range scene.Objects {
+		b := o.Box
+		dx := g.rng.Intn(2*amount+1) - amount
+		dy := g.rng.Intn(2*amount+1) - amount
+		nb := b.Translate(dx, dy)
+		nb = clampRect(nb, scene.XMax, scene.YMax)
+		objs[i] = core.Object{Label: o.Label, Box: nb}
+	}
+	return core.NewImage(scene.XMax, scene.YMax, objs...)
+}
+
+// RelabelQuery swaps a fraction of object labels for fresh vocabulary
+// entries, producing distractor queries that should rank low.
+func (g *Generator) RelabelQuery(scene core.Image, swaps int) core.Image {
+	objs := make([]core.Object, len(scene.Objects))
+	copy(objs, scene.Objects)
+	used := make(map[string]bool, len(objs))
+	for _, o := range objs {
+		used[o.Label] = true
+	}
+	for s := 0; s < swaps && s < len(objs); s++ {
+		for attempt := 0; attempt < 64; attempt++ {
+			label := ClassLabel(g.rng.Intn(g.cfg.Vocabulary))
+			if !used[label] {
+				used[label] = true
+				objs[s].Label = label
+				break
+			}
+		}
+	}
+	return core.NewImage(scene.XMax, scene.YMax, objs...)
+}
+
+// TransformQuery applies a random non-identity dihedral transform and
+// reports which one was applied.
+func (g *Generator) TransformQuery(scene core.Image) (core.Image, core.Transform) {
+	tr := core.AllTransforms[1+g.rng.Intn(len(core.AllTransforms)-1)]
+	return core.ApplyToImage(scene, tr), tr
+}
+
+// clampRect shifts the rectangle back into the canvas if jitter pushed it
+// out.
+func clampRect(r core.Rect, xmax, ymax int) core.Rect {
+	if r.X0 < 0 {
+		r = r.Translate(-r.X0, 0)
+	}
+	if r.Y0 < 0 {
+		r = r.Translate(0, -r.Y0)
+	}
+	if r.X1 > xmax {
+		r = r.Translate(xmax-r.X1, 0)
+	}
+	if r.Y1 > ymax {
+		r = r.Translate(0, ymax-r.Y1)
+	}
+	return r
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"testing"
+
+	"bestring/internal/core"
+)
+
+func TestSceneIsValid(t *testing.T) {
+	g := NewGenerator(Config{Seed: 1})
+	for i := 0; i < 50; i++ {
+		img := g.Scene()
+		if err := img.Validate(); err != nil {
+			t.Fatalf("scene %d invalid: %v", i, err)
+		}
+		if len(img.Objects) != 8 {
+			t.Fatalf("scene %d: %d objects, want default 8", i, len(img.Objects))
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a := NewGenerator(Config{Seed: 42}).Dataset(5)
+	b := NewGenerator(Config{Seed: 42}).Dataset(5)
+	for i := range a {
+		beA, beB := core.MustConvert(a[i]), core.MustConvert(b[i])
+		if !beA.Equal(beB) {
+			t.Fatalf("scene %d differs across same-seed generators", i)
+		}
+	}
+	c := NewGenerator(Config{Seed: 43}).Scene()
+	if core.MustConvert(a[0]).Equal(core.MustConvert(c)) {
+		t.Error("different seeds produced identical first scene")
+	}
+}
+
+func TestObjectsCappedAtVocabulary(t *testing.T) {
+	g := NewGenerator(Config{Seed: 1, Objects: 50, Vocabulary: 5})
+	img := g.Scene()
+	if len(img.Objects) != 5 {
+		t.Errorf("objects = %d, want capped at 5", len(img.Objects))
+	}
+}
+
+func TestSceneWithObjects(t *testing.T) {
+	g := NewGenerator(Config{Seed: 1, Vocabulary: 64})
+	img := g.SceneWithObjects(20)
+	if len(img.Objects) != 20 {
+		t.Errorf("objects = %d, want 20", len(img.Objects))
+	}
+	// Config restored.
+	if len(g.Scene().Objects) != 8 {
+		t.Error("SceneWithObjects leaked its override")
+	}
+}
+
+func TestGridScene(t *testing.T) {
+	g := NewGenerator(Config{Seed: 1, Width: 40, Height: 40, Vocabulary: 64})
+	img := g.GridScene(4, 3)
+	if err := img.Validate(); err != nil {
+		t.Fatalf("grid scene invalid: %v", err)
+	}
+	if len(img.Objects) != 12 {
+		t.Errorf("grid objects = %d, want 12", len(img.Objects))
+	}
+	// Grid cells are pairwise disjoint.
+	for i := 0; i < len(img.Objects); i++ {
+		for j := i + 1; j < len(img.Objects); j++ {
+			if img.Objects[i].Box.Intersects(img.Objects[j].Box) {
+				t.Fatalf("grid cells %d and %d intersect", i, j)
+			}
+		}
+	}
+}
+
+func TestSubsetQuery(t *testing.T) {
+	g := NewGenerator(Config{Seed: 7})
+	scene := g.Scene()
+	q := g.SubsetQuery(scene, 3)
+	if err := q.Validate(); err != nil {
+		t.Fatalf("subset query invalid: %v", err)
+	}
+	if len(q.Objects) != 3 {
+		t.Fatalf("subset size = %d, want 3", len(q.Objects))
+	}
+	for _, o := range q.Objects {
+		orig, ok := scene.Find(o.Label)
+		if !ok || orig.Box != o.Box {
+			t.Errorf("subset object %q not copied verbatim", o.Label)
+		}
+	}
+	// Bounds clamping.
+	if got := g.SubsetQuery(scene, 0); len(got.Objects) != 1 {
+		t.Error("keep<1 should clamp to 1")
+	}
+	if got := g.SubsetQuery(scene, 99); len(got.Objects) != len(scene.Objects) {
+		t.Error("keep>n should clamp to n")
+	}
+}
+
+func TestJitterQueryStaysValid(t *testing.T) {
+	g := NewGenerator(Config{Seed: 7})
+	for i := 0; i < 30; i++ {
+		scene := g.Scene()
+		q := g.JitterQuery(scene, 10)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("jittered query invalid: %v", err)
+		}
+		if len(q.Objects) != len(scene.Objects) {
+			t.Fatal("jitter changed object count")
+		}
+	}
+}
+
+func TestRelabelQueryChangesLabels(t *testing.T) {
+	g := NewGenerator(Config{Seed: 7, Vocabulary: 64})
+	scene := g.Scene()
+	q := g.RelabelQuery(scene, 2)
+	if err := q.Validate(); err != nil {
+		t.Fatalf("relabelled query invalid: %v", err)
+	}
+	changed := 0
+	for i := range q.Objects {
+		if q.Objects[i].Label != scene.Objects[i].Label {
+			changed++
+		}
+	}
+	if changed != 2 {
+		t.Errorf("changed labels = %d, want 2", changed)
+	}
+}
+
+func TestTransformQuery(t *testing.T) {
+	g := NewGenerator(Config{Seed: 7})
+	scene := g.Scene()
+	q, tr := g.TransformQuery(scene)
+	if tr == core.Identity {
+		t.Error("transform query returned identity")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("transformed query invalid: %v", err)
+	}
+	if got := core.MustConvert(core.ApplyToImage(scene, tr)); !got.Equal(core.MustConvert(q)) {
+		t.Error("reported transform does not reproduce the query")
+	}
+}
+
+func TestClassLabel(t *testing.T) {
+	if ClassLabel(3) != "icon03" || ClassLabel(42) != "icon42" {
+		t.Error("ClassLabel format changed")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := NewGenerator(Config{})
+	img := g.Scene()
+	if img.XMax != 100 || img.YMax != 100 {
+		t.Errorf("default canvas = %dx%d, want 100x100", img.XMax, img.YMax)
+	}
+}

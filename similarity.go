@@ -1,0 +1,40 @@
+package bestring
+
+import (
+	"bestring/internal/lcs"
+	"bestring/internal/similarity"
+)
+
+// Similarity scoring types, re-exported.
+type (
+	// Score grades how similar two images are (see the field docs in
+	// internal/similarity).
+	Score = similarity.Score
+	// Match is a Score plus the reconstructed common subsequences.
+	Match = similarity.Match
+	// InvariantScore is the best Score over a set of query transforms.
+	InvariantScore = similarity.InvariantScore
+)
+
+// Similarity scores a database image's BE-string against a query's using
+// the paper's modified LCS (Algorithm 2) on both axes. O(mn) time.
+func Similarity(query, db BEString) Score { return similarity.Evaluate(query, db) }
+
+// Explain scores like Similarity and also reconstructs the matched common
+// subsequence per axis (Algorithm 3).
+func Explain(query, db BEString) Match { return similarity.Explain(query, db) }
+
+// SimilarityInvariant returns the best score across the given transforms
+// of the query (nil means all eight), answering rotated/reflected queries
+// purely on the strings.
+func SimilarityInvariant(query, db BEString, transforms []Transform) InvariantScore {
+	return similarity.EvaluateInvariant(query, db, transforms)
+}
+
+// Identical reports whether two BE-strings fully accord (score 1.0 in both
+// directions).
+func Identical(a, b BEString) bool { return similarity.Identical(a, b) }
+
+// LCSLength exposes the modified 2D-Be-LCS length of two axes (Algorithm
+// 2) for callers composing their own scores.
+func LCSLength(q, d Axis) int { return lcs.Length(q, d) }
