@@ -1,5 +1,6 @@
 // Benchmarks regenerating the paper's evaluation, one per experiment of
-// DESIGN.md (E1-E8). cmd/benchtab prints the same data as tables; these
+// DESIGN.md (E1-E8), plus the search-engine scaling experiment (E9,
+// BenchmarkSearch). cmd/benchtab prints the same data as tables; these
 // benches give the raw ns/op under `go test -bench=. -benchmem`.
 package bestring_test
 
@@ -302,6 +303,89 @@ func BenchmarkE8Incremental(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSearch is experiment E9: ranked retrieval over a corpus-size
+// sweep, comparing the full-sort path (K=0: score all, sort all — what the
+// engine did before per-worker bounded heaps) against the top-K heap path.
+// Both return byte-identical top-10 rankings (TestSearchMatchesFullSort-
+// Reference in internal/imagedb); the heap path allocates O(workers*K)
+// instead of O(n) per query. 100k images is skipped under -short.
+func BenchmarkSearch(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		if testing.Short() && n > 1000 {
+			continue
+		}
+		gen := workload.NewGenerator(workload.Config{Seed: 23, Vocabulary: 32, Objects: 8})
+		scenes := gen.Dataset(n)
+		items := make([]imagedb.BulkItem, n)
+		for i, s := range scenes {
+			items[i] = imagedb.BulkItem{ID: fmt.Sprintf("img%06d", i), Image: s}
+		}
+		db := imagedb.New()
+		ctx := context.Background()
+		if err := db.BulkInsert(ctx, items, 0); err != nil {
+			b.Fatal(err)
+		}
+		query := gen.SubsetQuery(scenes[n/2], 4)
+		b.Run(fmt.Sprintf("images=%d/engine=fullsort", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, err := db.Search(ctx, query, imagedb.SearchOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) > 10 {
+					results = results[:10]
+				}
+				sink += len(results)
+			}
+		})
+		b.Run(fmt.Sprintf("images=%d/engine=topk", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, err := db.Search(ctx, query, imagedb.SearchOptions{K: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += len(results)
+			}
+		})
+	}
+}
+
+// BenchmarkBulkInsert measures the parallel-conversion insert fast path
+// against one-at-a-time Insert calls.
+func BenchmarkBulkInsert(b *testing.B) {
+	gen := workload.NewGenerator(workload.Config{Seed: 29, Vocabulary: 32, Objects: 8})
+	scenes := gen.Dataset(2000)
+	items := make([]imagedb.BulkItem, len(scenes))
+	for i, s := range scenes {
+		items[i] = imagedb.BulkItem{ID: fmt.Sprintf("img%06d", i), Image: s}
+	}
+	ctx := context.Background()
+	b.Run("bulk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db := imagedb.New()
+			if err := db.BulkInsert(ctx, items, 0); err != nil {
+				b.Fatal(err)
+			}
+			sink += db.Len()
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db := imagedb.New()
+			for _, it := range items {
+				if err := db.Insert(it.ID, it.Name, it.Image); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sink += db.Len()
+		}
+	})
 }
 
 // BenchmarkRTree measures the spatial-index substrate: insertion and

@@ -1,10 +1,12 @@
 // Command benchtab regenerates every evaluation artefact of the 2D
 // BE-string paper as text tables (or CSV series): experiments E1-E8 of
-// DESIGN.md. Run with -exp all (default) or a single experiment id (e7b is the adversarial clique companion).
+// DESIGN.md, plus E9, the search-engine scaling experiment (e7b is the
+// adversarial clique companion). Run with -exp all (default) or a single
+// experiment id.
 //
 // Usage:
 //
-//	benchtab [-exp e1|e2|...|e8|all] [-quick] [-csv]
+//	benchtab [-exp e1|e2|...|e9|all] [-quick] [-csv]
 package main
 
 import (
@@ -37,12 +39,14 @@ func run(args []string) error {
 	lcsGrid := []int{4, 16, 64}
 	mmParts := []int{3, 5, 7, 9, 11}
 	scenesPerPoint := 20
+	searchSizes := []int{1000, 4000, 10000}
 	qualityCfgs := bench.QualityConfigs(bench.DefaultSeed)
 	if *quick {
 		sweep = []int{4, 8}
 		lcsGrid = []int{4, 8}
 		mmParts = []int{3, 5}
 		scenesPerPoint = 3
+		searchSizes = []int{200, 500}
 		qualityCfgs = qualityCfgs[:1]
 		qualityCfgs[0].Cfg = retrieval.WorkloadConfig{
 			Seed: bench.DefaultSeed, Distractors: 10, Relevant: 2, Queries: 2, Jitter: 2,
@@ -63,6 +67,7 @@ func run(args []string) error {
 		{"e7", func() (*bench.Table, error) { return bench.MatchCost(sweep), nil }},
 		{"e7b", func() (*bench.Table, error) { return bench.CliqueBlowup(mmParts), nil }},
 		{"e8", func() (*bench.Table, error) { return bench.Incremental(sweep) }},
+		{"e9", func() (*bench.Table, error) { return bench.SearchScaling(searchSizes, 10) }},
 	}
 
 	emit := func(t *bench.Table) error {
@@ -106,7 +111,7 @@ func run(args []string) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e8 or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e9 or all)", *exp)
 	}
 	return nil
 }

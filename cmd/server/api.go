@@ -43,7 +43,10 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 }
 
 func (a *api) health(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "images": a.db.Len()})
+	stats := a.db.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "images": stats.Images, "shards": stats.Shards,
+	})
 }
 
 func (a *api) listImages(w http.ResponseWriter, _ *http.Request) {
@@ -91,11 +94,19 @@ func (a *api) deleteImage(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
 }
 
-// searchRequest is the POST /api/search payload.
+// searchRequest is the POST /api/search payload. K, minScore, parallelism
+// and labelPrefilter map directly onto bestring.SearchOptions, so clients
+// can tune the engine per request.
 type searchRequest struct {
 	Image  bestring.Image `json:"image"`
 	K      int            `json:"k"`
 	Method string         `json:"method"` // be (default), invariant, type0, type1, type2
+	// MinScore drops results scoring below the threshold.
+	MinScore float64 `json:"minScore"`
+	// Parallelism bounds the scoring workers (0 means GOMAXPROCS).
+	Parallelism int `json:"parallelism"`
+	// LabelPrefilter prunes images sharing no icon label with the query.
+	LabelPrefilter bool `json:"labelPrefilter"`
 }
 
 func (a *api) search(w http.ResponseWriter, r *http.Request) {
@@ -120,8 +131,16 @@ func (a *api) search(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown method %q", req.Method))
 		return
 	}
+	if req.Parallelism < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad parallelism %d", req.Parallelism))
+		return
+	}
 	results, err := a.db.Search(r.Context(), req.Image, bestring.SearchOptions{
-		K: req.K, Scorer: scorer,
+		K:              req.K,
+		Scorer:         scorer,
+		MinScore:       req.MinScore,
+		Parallelism:    req.Parallelism,
+		LabelPrefilter: req.LabelPrefilter,
 	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)

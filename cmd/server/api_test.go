@@ -13,7 +13,7 @@ import (
 
 func testMux(t *testing.T) http.Handler {
 	t.Helper()
-	db, err := openDB("", 10, 3)
+	db, err := openDB("", 10, 3, 0)
 	if err != nil {
 		t.Fatalf("openDB: %v", err)
 	}
@@ -122,7 +122,7 @@ func TestInsertErrors(t *testing.T) {
 }
 
 func TestSearchEndpoint(t *testing.T) {
-	db, err := openDB("", 15, 3)
+	db, err := openDB("", 15, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestSearchEndpoint(t *testing.T) {
 }
 
 func TestSearchDSLEndpoint(t *testing.T) {
-	db, err := openDB("", 0, 0)
+	db, err := openDB("", 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestSearchDSLEndpoint(t *testing.T) {
 }
 
 func TestRegionEndpoint(t *testing.T) {
-	db, err := openDB("", 0, 0)
+	db, err := openDB("", 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestRegionEndpoint(t *testing.T) {
 }
 
 func TestOpenDBVariants(t *testing.T) {
-	db, err := openDB("", 0, 0)
+	db, err := openDB("", 0, 0, 0)
 	if err != nil || db.Len() != 0 {
 		t.Errorf("empty openDB: %v, len %d", err, db.Len())
 	}
@@ -238,11 +238,62 @@ func TestOpenDBVariants(t *testing.T) {
 	if err := src.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := openDB(path, 0, 0)
+	loaded, err := openDB(path, 0, 0, 0)
 	if err != nil || loaded.Len() != 3 {
 		t.Errorf("openDB(dbfile): %v, len %d", err, loaded.Len())
 	}
-	if _, err := openDB(path+".missing", 0, 0); err == nil {
+	if _, err := openDB(path+".missing", 0, 0, 0); err == nil {
 		t.Error("missing dbfile accepted")
+	}
+}
+
+func TestSearchEndpointEngineKnobs(t *testing.T) {
+	db, err := openDB("", 15, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := newMux(db)
+	entry, ok := db.Get("scene0006")
+	if !ok {
+		t.Fatal("scene0006 missing")
+	}
+	// A high minScore keeps only the exact match.
+	rec := do(t, mux, http.MethodPost, "/api/search", map[string]any{
+		"image": entry.Image, "k": 10, "minScore": 0.999,
+		"parallelism": 2, "labelPrefilter": true,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Results []bestring.Result `json:"results"`
+	}
+	decode(t, rec, &out)
+	if len(out.Results) != 1 || out.Results[0].ID != "scene0006" || out.Results[0].Score != 1 {
+		t.Errorf("minScore results = %+v, want only scene0006 @ 1.0", out.Results)
+	}
+	// Negative parallelism is rejected.
+	rec = do(t, mux, http.MethodPost, "/api/search", map[string]any{
+		"image": entry.Image, "parallelism": -1,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("negative parallelism status = %d", rec.Code)
+	}
+}
+
+func TestHealthReportsShards(t *testing.T) {
+	db, err := openDB("", 4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, newMux(db), http.MethodGet, "/healthz", nil)
+	var out struct {
+		OK     bool `json:"ok"`
+		Images int  `json:"images"`
+		Shards int  `json:"shards"`
+	}
+	decode(t, rec, &out)
+	if !out.OK || out.Images != 4 || out.Shards != 3 {
+		t.Errorf("health = %+v, want 4 images over 3 shards", out)
 	}
 }

@@ -9,19 +9,23 @@
 //	POST   /api/images                        insert {"id","name","image"}
 //	GET    /api/images/{id}                   fetch one entry
 //	DELETE /api/images/{id}                   remove one entry
-//	POST   /api/search                        rank {"image",k,method}
+//	POST   /api/search                        rank {"image",k,method,
+//	                                          minScore,parallelism,labelPrefilter}
 //	GET    /api/search/dsl?q=A+left-of+B&k=5  spatial-predicate search
 //	GET    /api/region?x0=&y0=&x1=&y1=&label= R-tree icon lookup
 //
 // Usage:
 //
-//	server [-addr :8081] [-dbfile db.json] [-seed 0 -count 0]
+//	server [-addr :8081] [-dbfile db.json] [-seed 0 -count 0] [-shards 0]
 //
 // With -dbfile the database is loaded from (and saved back to) the file
 // on SIGINT; with -count a synthetic database is generated instead.
+// -shards partitions a synthetic or empty database (0 means GOMAXPROCS);
+// a database loaded from -dbfile keeps the default shard count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -37,11 +41,12 @@ func main() {
 	dbfile := fs.String("dbfile", "", "database JSON file to serve (optional)")
 	count := fs.Int("count", 0, "generate a synthetic database of this size when no -dbfile")
 	seed := fs.Int64("seed", 1, "generator seed for -count")
+	shards := fs.Int("shards", 0, "shard count for a synthetic or empty database (0 = GOMAXPROCS)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 
-	db, err := openDB(*dbfile, *count, *seed)
+	db, err := openDB(*dbfile, *count, *seed, *shards)
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
@@ -52,19 +57,23 @@ func main() {
 }
 
 // openDB loads or synthesises the database per the flags.
-func openDB(dbfile string, count int, seed int64) (*bestring.DB, error) {
+func openDB(dbfile string, count int, seed int64, shards int) (*bestring.DB, error) {
 	if dbfile != "" {
 		return bestring.LoadDBFile(dbfile)
 	}
-	db := bestring.NewDB()
+	db := bestring.NewDBSharded(shards)
 	if count <= 0 {
 		return db, nil
 	}
 	gen := bestring.NewSceneGenerator(bestring.SceneConfig{Seed: seed, Vocabulary: 24})
-	for i := 0; i < count; i++ {
-		if err := db.Insert(fmt.Sprintf("scene%04d", i), "synthetic", gen.Scene()); err != nil {
-			return nil, err
+	items := make([]bestring.BulkItem, count)
+	for i := range items {
+		items[i] = bestring.BulkItem{
+			ID: fmt.Sprintf("scene%04d", i), Name: "synthetic", Image: gen.Scene(),
 		}
+	}
+	if err := db.BulkInsert(context.Background(), items, 0); err != nil {
+		return nil, err
 	}
 	return db, nil
 }

@@ -19,6 +19,8 @@ type (
 	SearchOptions = imagedb.SearchOptions
 	// Scorer ranks a database entry against a query.
 	Scorer = imagedb.Scorer
+	// DBStats describes shard occupancy of a DB.
+	DBStats = imagedb.Stats
 	// TypeLevel selects the strictness of the baseline type-i similarity.
 	TypeLevel = typesim.Level
 )
@@ -36,8 +38,13 @@ var (
 	ErrDuplicate = imagedb.ErrDuplicate
 )
 
-// NewDB returns an empty image database.
+// NewDB returns an empty image database with one shard per GOMAXPROCS.
 func NewDB() *DB { return imagedb.New() }
+
+// NewDBSharded returns an empty image database with an explicit shard
+// count (0 means GOMAXPROCS). More shards reduce write contention; shard
+// count does not affect search results.
+func NewDBSharded(shards int) *DB { return imagedb.NewSharded(shards) }
 
 // LoadDB reads a database snapshot written by DB.Save.
 func LoadDB(r io.Reader) (*DB, error) { return imagedb.Load(r) }

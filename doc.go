@@ -24,7 +24,9 @@
 //	be, err := bestring.Convert(img)   // the 2D BE-string index
 //	score := bestring.Similarity(be, otherBE)
 //
-// For ranked retrieval over many images use DB:
+// For ranked retrieval over many images use DB — a sharded, concurrency-
+// safe store whose top-K search accumulates into per-worker bounded heaps
+// (see DESIGN.md section 4 for the engine architecture):
 //
 //	db := bestring.NewDB()
 //	_ = db.Insert("scene-1", "beach", img)

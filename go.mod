@@ -1,0 +1,3 @@
+module bestring
+
+go 1.24

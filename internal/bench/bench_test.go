@@ -149,3 +149,20 @@ func TestIncrementalTable(t *testing.T) {
 		t.Fatalf("rows = %d, want 2", len(tab.Rows))
 	}
 }
+
+func TestSearchScalingTable(t *testing.T) {
+	tab, err := SearchScaling([]int{50, 100}, 5)
+	if err != nil {
+		t.Fatalf("SearchScaling: %v", err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[:4] {
+			if cell == "" {
+				t.Errorf("empty cell in row %v", row)
+			}
+		}
+	}
+}

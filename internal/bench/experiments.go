@@ -344,6 +344,52 @@ func MatchCost(ns []int) *Table {
 	return t
 }
 
+// SearchScaling reproduces experiment E9 (the engine experiment, not from
+// the paper): ranked retrieval latency of the sharded database over a
+// corpus-size sweep, comparing the full-sort path (K=0: score everything,
+// sort everything) against the bounded top-K heap path at the same corpus.
+// Both paths return byte-identical top-K rankings; the table shows what
+// the O(n log K) accumulation saves as n grows.
+func SearchScaling(sizes []int, k int) (*Table, error) {
+	t := &Table{
+		ID: "E9",
+		Caption: fmt.Sprintf(
+			"sharded search engine: full-sort (K=0) vs bounded top-%d heaps, GOMAXPROCS workers", k),
+		Header: []string{"images", "shards", "fullsort us/op", "topk us/op", "speedup"},
+	}
+	ctx := context.Background()
+	for _, n := range sizes {
+		gen := workload.NewGenerator(workload.Config{
+			Seed: DefaultSeed + 9, Vocabulary: 32, Objects: 8,
+		})
+		scenes := gen.Dataset(n)
+		items := make([]imagedb.BulkItem, n)
+		for i, s := range scenes {
+			items[i] = imagedb.BulkItem{ID: fmt.Sprintf("img%06d", i), Image: s}
+		}
+		db := imagedb.New()
+		if err := db.BulkInsert(ctx, items, 0); err != nil {
+			return nil, fmt.Errorf("E9: %w", err)
+		}
+		query := gen.SubsetQuery(scenes[n/2], 4)
+		fullD := MeasureOp(defaultMeasure, func() {
+			rs, err := db.Search(ctx, query, imagedb.SearchOptions{})
+			if err == nil {
+				Sink += len(rs)
+			}
+		})
+		topD := MeasureOp(defaultMeasure, func() {
+			rs, err := db.Search(ctx, query, imagedb.SearchOptions{K: k})
+			if err == nil {
+				Sink += len(rs)
+			}
+		})
+		t.AddRow(FmtInt(n), FmtInt(db.ShardCount()), FmtDur(fullD), FmtDur(topD),
+			fmt.Sprintf("%.2fx", float64(fullD)/float64(max(int(topD), 1))))
+	}
+	return t, nil
+}
+
 // Incremental reproduces experiment E8: incremental object insert/delete
 // on the coordinate-annotated BE-string versus a full reconversion.
 func Incremental(ns []int) (*Table, error) {

@@ -3,6 +3,7 @@ package imagedb
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"bestring/internal/core"
@@ -16,15 +17,21 @@ type BulkItem struct {
 }
 
 // BulkInsert converts many images in parallel (the conversions are
-// independent and CPU-bound) and then installs them under the write lock
-// in slice order. It is all-or-nothing: if any item fails validation,
-// conversion or collides with an existing id, nothing is inserted.
+// independent and CPU-bound, the expensive part of an insert) and then
+// installs them. It is all-or-nothing: if any item fails validation,
+// conversion or collides with an existing id, nothing is inserted. To
+// make that atomic across partitions it holds every shard's write lock
+// (acquired in ring order, so it cannot deadlock with single-shard
+// writers) for the duration of the install phase: map installs, label
+// indexing and the batch's R-tree insertions — conversion and image
+// cloning happen before any lock is taken. parallelism <= 0 means
+// GOMAXPROCS.
 func (db *DB) BulkInsert(ctx context.Context, items []BulkItem, parallelism int) error {
 	if len(items) == 0 {
 		return nil
 	}
 	if parallelism <= 0 {
-		parallelism = 4
+		parallelism = runtime.GOMAXPROCS(0)
 	}
 	seen := make(map[string]bool, len(items))
 	for i, it := range items {
@@ -71,18 +78,39 @@ feed:
 		}
 	}
 
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	// Build the stored entries (including the image clones) before taking
+	// any lock; only map installs and index registration remain inside
+	// the critical section.
+	sts := make([]*stored, len(items))
+	for i, it := range items {
+		sts[i] = &stored{
+			Entry: Entry{ID: it.ID, Name: it.Name, Image: it.Image.Clone(), BE: converted[i]},
+		}
+	}
+
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
 	for _, it := range items {
-		if _, exists := db.entries[it.ID]; exists {
+		if _, exists := db.shardFor(it.ID).entries[it.ID]; exists {
 			return fmt.Errorf("bulk insert %q: %w", it.ID, ErrDuplicate)
 		}
 	}
-	for i, it := range items {
-		e := &Entry{ID: it.ID, Name: it.Name, Image: it.Image.Clone(), BE: converted[i]}
-		db.entries[it.ID] = e
-		db.order = append(db.order, it.ID)
-		db.indexEntry(e)
+	for _, st := range sts {
+		st.seq = db.seq.Add(1)
+		sh := db.shardFor(st.ID)
+		sh.entries[st.ID] = st
+		sh.indexLabels(&st.Entry)
 	}
+	// One spatial critical section for the whole batch, so a concurrent
+	// SearchRegion sees either none or all of it.
+	db.spatialMu.Lock()
+	for _, st := range sts {
+		for _, o := range st.Image.Objects {
+			db.spatial.Insert(spatialID(st.ID, o.Label), o.Box)
+		}
+	}
+	db.spatialMu.Unlock()
 	return nil
 }

@@ -3,14 +3,23 @@
 // images indexed by their 2D BE-strings, with ranked top-k similarity
 // search, pluggable scoring methods (BE-LCS, transform-invariant BE-LCS, or
 // the clique-based type-i baselines) and JSON persistence.
+//
+// The store is sharded: entries are partitioned by id hash across N shards
+// (default GOMAXPROCS), each with its own lock and inverted label index, so
+// writers on different shards never contend. Ranked search scores shard
+// snapshots on a worker pool into per-worker bounded top-K min-heaps
+// (O(n log K), O(K) space per worker) and merges them into the exact
+// ranking a full sort would produce; see topk.go and DESIGN.md section 4.
 package imagedb
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"bestring/internal/baseline/typesim"
 	"bestring/internal/core"
@@ -34,53 +43,70 @@ var (
 	ErrEmptyID   = errors.New("empty image id")
 )
 
-// DB is an in-memory symbolic-image database. The zero value is not ready;
-// use New. All methods are safe for concurrent use.
+// DB is an in-memory symbolic-image database, partitioned into shards.
+// The zero value is not ready; use New or NewSharded. All methods are safe
+// for concurrent use.
 type DB struct {
-	mu      sync.RWMutex
-	entries map[string]*Entry
-	order   []string // insertion order, for deterministic iteration
-	// labels is the inverted label index: icon label -> image ids.
-	labels map[string]map[string]bool
+	shards []*shard
+	// seq issues global insertion sequence numbers; shards order their
+	// entries by seq to reconstruct insertion order without a global lock.
+	seq atomic.Uint64
 	// spatial indexes every stored icon MBR (Guttman R-tree); item ids are
-	// imageID + "\x00" + label.
-	spatial *rtree.Tree
+	// imageID + "\x00" + label. It is shared across shards under its own
+	// lock, acquired after a shard lock and never the other way around.
+	spatialMu sync.RWMutex
+	spatial   *rtree.Tree
 }
 
-// New returns an empty database.
-func New() *DB {
-	return &DB{
-		entries: make(map[string]*Entry),
-		labels:  make(map[string]map[string]bool),
+// New returns an empty database with one shard per GOMAXPROCS.
+func New() *DB { return NewSharded(0) }
+
+// NewSharded returns an empty database with an explicit shard count
+// (n <= 0 means GOMAXPROCS).
+func NewSharded(n int) *DB {
+	if n <= 0 {
+		n = defaultShards()
+	}
+	db := &DB{
+		shards:  make([]*shard, n),
 		spatial: rtree.New(rtree.DefaultMaxEntries),
 	}
+	for i := range db.shards {
+		db.shards[i] = newShard()
+	}
+	return db
 }
 
-// indexEntry registers an entry's icons in the label and spatial indexes.
-// Callers hold the write lock.
-func (db *DB) indexEntry(e *Entry) {
+// indexSpatial registers an entry's icons in the shared R-tree. Callers
+// hold the entry's shard lock, which serialises spatial updates per image.
+func (db *DB) indexSpatial(e *Entry) {
+	db.spatialMu.Lock()
+	defer db.spatialMu.Unlock()
 	for _, o := range e.Image.Objects {
-		ids := db.labels[o.Label]
-		if ids == nil {
-			ids = make(map[string]bool)
-			db.labels[o.Label] = ids
-		}
-		ids[e.ID] = true
 		db.spatial.Insert(spatialID(e.ID, o.Label), o.Box)
 	}
 }
 
-// unindexEntry removes an entry's icons from the secondary indexes.
-// Callers hold the write lock.
-func (db *DB) unindexEntry(e *Entry) {
+// unindexSpatial removes an entry's icons from the shared R-tree.
+func (db *DB) unindexSpatial(e *Entry) {
+	db.spatialMu.Lock()
+	defer db.spatialMu.Unlock()
 	for _, o := range e.Image.Objects {
-		if ids := db.labels[o.Label]; ids != nil {
-			delete(ids, e.ID)
-			if len(ids) == 0 {
-				delete(db.labels, o.Label)
-			}
-		}
 		db.spatial.Delete(spatialID(e.ID, o.Label), o.Box)
+	}
+}
+
+// reindexSpatial swaps an image's icons in the R-tree inside one critical
+// section, so a concurrent SearchRegion never observes the image with its
+// entries half removed.
+func (db *DB) reindexSpatial(old, next *Entry) {
+	db.spatialMu.Lock()
+	defer db.spatialMu.Unlock()
+	for _, o := range old.Image.Objects {
+		db.spatial.Delete(spatialID(old.ID, o.Label), o.Box)
+	}
+	for _, o := range next.Image.Objects {
+		db.spatial.Insert(spatialID(next.ID, o.Label), o.Box)
 	}
 }
 
@@ -107,63 +133,62 @@ func (db *DB) Insert(id, name string, img core.Image) error {
 	if err != nil {
 		return fmt.Errorf("insert %q: %w", id, err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, exists := db.entries[id]; exists {
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.entries[id]; exists {
 		return fmt.Errorf("insert %q: %w", id, ErrDuplicate)
 	}
-	e := &Entry{ID: id, Name: name, Image: img.Clone(), BE: be}
-	db.entries[id] = e
-	db.order = append(db.order, id)
-	db.indexEntry(e)
+	st := &stored{
+		Entry: Entry{ID: id, Name: name, Image: img.Clone(), BE: be},
+		seq:   db.seq.Add(1),
+	}
+	sh.entries[id] = st
+	sh.indexLabels(&st.Entry)
+	db.indexSpatial(&st.Entry)
 	return nil
 }
 
 // Delete removes the image with the given id.
 func (db *DB) Delete(id string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	e, exists := db.entries[id]
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, exists := sh.entries[id]
 	if !exists {
 		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
 	}
-	db.unindexEntry(e)
-	delete(db.entries, id)
-	for i, oid := range db.order {
-		if oid == id {
-			db.order = append(db.order[:i], db.order[i+1:]...)
-			break
-		}
-	}
+	sh.unindexLabels(&st.Entry)
+	db.unindexSpatial(&st.Entry)
+	delete(sh.entries, id)
 	return nil
 }
 
 // Get returns a copy of the entry with the given id.
 func (db *DB) Get(id string) (Entry, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	e, ok := db.entries[id]
+	sh := db.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.entries[id]
 	if !ok {
 		return Entry{}, false
 	}
-	return copyEntry(e), true
+	return copyEntry(&st.Entry), true
 }
 
-// Len returns the number of stored images.
+// Len returns the number of stored images (point-in-time across shards).
 func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.entries)
+	n := 0
+	db.rlockAll()
+	for _, sh := range db.shards {
+		n += len(sh.entries)
+	}
+	db.runlockAll()
+	return n
 }
 
 // IDs returns the stored ids in insertion order.
-func (db *DB) IDs() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, len(db.order))
-	copy(out, db.order)
-	return out
-}
+func (db *DB) IDs() []string { return db.orderedIDs() }
 
 // InsertObject adds an object to a stored image, reindexing it.
 func (db *DB) InsertObject(id string, o core.Object) error {
@@ -190,23 +215,30 @@ func (db *DB) DeleteObject(id, label string) error {
 }
 
 // updateImage applies fn to the stored image and reindexes; the update is
-// rejected if the result no longer converts.
+// rejected if the result no longer converts. The entry is replaced, never
+// mutated: search snapshots hold *stored pointers outside any lock, so a
+// published entry must stay immutable (copy-on-write).
 func (db *DB) updateImage(id string, fn func(core.Image) core.Image) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	e, ok := db.entries[id]
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.entries[id]
 	if !ok {
 		return fmt.Errorf("update %q: %w", id, ErrNotFound)
 	}
-	img := fn(e.Image.Clone())
+	img := fn(st.Image.Clone())
 	be, err := core.Convert(img)
 	if err != nil {
 		return fmt.Errorf("update %q: %w", id, err)
 	}
-	db.unindexEntry(e)
-	e.Image = img
-	e.BE = be
-	db.indexEntry(e)
+	next := &stored{
+		Entry: Entry{ID: id, Name: st.Name, Image: img, BE: be},
+		seq:   st.seq,
+	}
+	sh.unindexLabels(&st.Entry)
+	sh.entries[id] = next
+	sh.indexLabels(&next.Entry)
+	db.reindexSpatial(&st.Entry, &next.Entry)
 	return nil
 }
 
@@ -256,15 +288,24 @@ type Result struct {
 	Score float64 `json:"score"`
 }
 
+// sortResults orders results best first: score descending, id ascending
+// on ties — the canonical deterministic result order.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return worse(rs[j], rs[i]) })
+}
+
 // SearchOptions parameterise Search.
 type SearchOptions struct {
-	// K limits the number of results (0 means all).
+	// K limits the number of results (0 means all). K > 0 enables the
+	// bounded-heap accumulation path: O(n log K) instead of O(n log n).
 	K int
 	// Scorer ranks entries; default BEScorer().
 	Scorer Scorer
-	// MinScore filters results scoring strictly below the threshold.
+	// MinScore filters results scoring strictly below the threshold (a
+	// result scoring exactly MinScore is kept). Applied during heap
+	// accumulation, before a candidate can occupy a top-K slot.
 	MinScore float64
-	// Parallelism bounds the scoring workers (0 means 4).
+	// Parallelism bounds the scoring workers (0 means GOMAXPROCS).
 	Parallelism int
 	// LabelPrefilter restricts scoring to images sharing at least one icon
 	// label with the query (via the inverted label index). Images that
@@ -273,9 +314,25 @@ type SearchOptions struct {
 	LabelPrefilter bool
 }
 
+// queryLabels lists the distinct icon labels of the query image.
+func queryLabels(query core.Image) []string {
+	out := make([]string, 0, len(query.Objects))
+	seen := make(map[string]bool, len(query.Objects))
+	for _, o := range query.Objects {
+		if !seen[o.Label] {
+			seen[o.Label] = true
+			out = append(out, o.Label)
+		}
+	}
+	return out
+}
+
 // Search ranks the stored images against the query image, best first.
-// Ties break by id so results are deterministic. The context cancels
-// in-flight scoring.
+// Ties break by id so results are deterministic: for a given (query, K,
+// MinScore) the ranking is byte-identical whatever the shard count or
+// Parallelism. Each worker accumulates into a private bounded top-K heap
+// (MinScore applied on admission); the per-worker champions are merged and
+// sorted at the end. The context cancels in-flight scoring.
 func (db *DB) Search(ctx context.Context, query core.Image, opts SearchOptions) ([]Result, error) {
 	queryBE, err := core.Convert(query)
 	if err != nil {
@@ -287,39 +344,47 @@ func (db *DB) Search(ctx context.Context, query core.Image, opts SearchOptions) 
 	}
 	workers := opts.Parallelism
 	if workers <= 0 {
-		workers = 4
+		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Snapshot entries under the read lock; scoring happens outside it.
-	db.mu.RLock()
-	var candidates map[string]bool
+	// Snapshot the store point-in-time; scoring happens outside the locks.
+	var labels []string
 	if opts.LabelPrefilter {
-		candidates = make(map[string]bool)
-		for _, o := range query.Objects {
-			for id := range db.labels[o.Label] {
-				candidates[id] = true
-			}
-		}
+		labels = queryLabels(query)
 	}
-	snapshot := make([]*Entry, 0, len(db.order))
-	for _, id := range db.order {
-		if candidates != nil && !candidates[id] {
-			continue
+	snapshot := db.snapshot(labels, opts.LabelPrefilter)
+	if len(snapshot) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("search: %w", err)
 		}
-		snapshot = append(snapshot, db.entries[id])
+		return []Result{}, nil
 	}
-	db.mu.RUnlock()
+	if workers > len(snapshot) {
+		workers = len(snapshot)
+	}
+	// K is client-controlled; clamp to the corpus so heap preallocation
+	// cannot be driven past the snapshot size (same results either way).
+	k := opts.K
+	if k > len(snapshot) {
+		k = len(snapshot)
+	}
 
-	results := make([]Result, len(snapshot))
+	heaps := make([]*topK, workers)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		h := newTopK(k)
+		heaps[w] = h
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				e := snapshot[i]
-				results[i] = Result{ID: e.ID, Name: e.Name, Score: scorer(query, queryBE, *e)}
+				st := snapshot[i]
+				score := scorer(query, queryBE, st.Entry)
+				if score < opts.MinScore {
+					continue
+				}
+				h.add(Result{ID: st.ID, Name: st.Name, Score: score})
 			}
 		}()
 	}
@@ -338,24 +403,5 @@ feed:
 	if cancelled != nil {
 		return nil, fmt.Errorf("search: %w", cancelled)
 	}
-
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Score != results[j].Score {
-			return results[i].Score > results[j].Score
-		}
-		return results[i].ID < results[j].ID
-	})
-	filtered := results[:0]
-	for _, r := range results {
-		if r.Score >= opts.MinScore {
-			filtered = append(filtered, r)
-		}
-	}
-	results = filtered
-	if opts.K > 0 && len(results) > opts.K {
-		results = results[:opts.K]
-	}
-	out := make([]Result, len(results))
-	copy(out, results)
-	return out, nil
+	return mergeTopK(heaps, k), nil
 }

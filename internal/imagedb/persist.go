@@ -19,13 +19,7 @@ const snapshotVersion = 1
 
 // Save writes the database as JSON. Entries appear in insertion order.
 func (db *DB) Save(w io.Writer) error {
-	db.mu.RLock()
-	snap := snapshotJSON{Version: snapshotVersion, Entries: make([]Entry, 0, len(db.order))}
-	for _, id := range db.order {
-		snap.Entries = append(snap.Entries, copyEntry(db.entries[id]))
-	}
-	db.mu.RUnlock()
-
+	snap := snapshotJSON{Version: snapshotVersion, Entries: db.orderedEntries()}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
@@ -63,12 +57,7 @@ func Load(r io.Reader) (*DB, error) {
 // faster than JSON for large collections; Load/Save remain the
 // interchange format.
 func (db *DB) SaveGob(w io.Writer) error {
-	db.mu.RLock()
-	snap := snapshotJSON{Version: snapshotVersion, Entries: make([]Entry, 0, len(db.order))}
-	for _, id := range db.order {
-		snap.Entries = append(snap.Entries, copyEntry(db.entries[id]))
-	}
-	db.mu.RUnlock()
+	snap := snapshotJSON{Version: snapshotVersion, Entries: db.orderedEntries()}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("save image db (gob): %w", err)
 	}

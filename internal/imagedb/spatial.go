@@ -24,9 +24,9 @@ func (db *DB) SearchRegion(region core.Rect, label string) []RegionHit {
 	if !region.Valid() {
 		return nil
 	}
-	db.mu.RLock()
+	db.spatialMu.RLock()
 	items := db.spatial.SearchIntersect(region)
-	db.mu.RUnlock()
+	db.spatialMu.RUnlock()
 
 	out := make([]RegionHit, 0, len(items))
 	for _, it := range items {
@@ -56,37 +56,28 @@ type QueryResult struct {
 // SearchDSL evaluates a spatial-predicate query (internal/query syntax,
 // e.g. "A left-of B; B above C") against every stored image and returns
 // images ranked by the satisfied fraction, best first; ties break by id.
-// The inverted label index prunes images containing none of the query's
-// labels. k <= 0 returns all scoring images.
+// The per-shard inverted label indexes prune images containing none of the
+// query's labels. k <= 0 returns all scoring images.
 func (db *DB) SearchDSL(ctx context.Context, q query.Query, k int) ([]QueryResult, error) {
 	if len(q.Constraints) == 0 {
 		return nil, fmt.Errorf("search dsl: empty query")
 	}
-	db.mu.RLock()
-	candidates := make(map[string]bool)
+	labels := make([]string, 0, len(q.Labels()))
 	for label := range q.Labels() {
-		for id := range db.labels[label] {
-			candidates[id] = true
-		}
+		labels = append(labels, label)
 	}
-	snapshot := make([]*Entry, 0, len(candidates))
-	for _, id := range db.order {
-		if candidates[id] {
-			snapshot = append(snapshot, db.entries[id])
-		}
-	}
-	db.mu.RUnlock()
+	snapshot := db.snapshot(labels, true)
 
 	out := make([]QueryResult, 0, len(snapshot))
-	for _, e := range snapshot {
+	for _, st := range snapshot {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("search dsl: %w", err)
 		}
-		score, full := q.Eval(e.Image)
+		score, full := q.Eval(st.Image)
 		if score <= 0 {
 			continue
 		}
-		out = append(out, QueryResult{ID: e.ID, Name: e.Name, Score: score, Full: full})
+		out = append(out, QueryResult{ID: st.ID, Name: st.Name, Score: score, Full: full})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -101,16 +92,9 @@ func (db *DB) SearchDSL(ctx context.Context, q query.Query, k int) ([]QueryResul
 }
 
 // ImagesWithLabel returns the ids of images containing the icon label,
-// in insertion order (the inverted-index lookup).
+// in insertion order (the inverted-index lookup, gathered across shards).
 func (db *DB) ImagesWithLabel(label string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	ids := db.labels[label]
-	out := make([]string, 0, len(ids))
-	for _, id := range db.order {
-		if ids[id] {
-			out = append(out, id)
-		}
-	}
-	return out
+	return db.orderedIDsMatching(func(sh *shard, id string) bool {
+		return sh.labels[label][id]
+	})
 }

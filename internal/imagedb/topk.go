@@ -1,0 +1,104 @@
+package imagedb
+
+// topK accumulates candidate results during a search. With k > 0 it is a
+// bounded min-heap over the result order (score descending, id ascending
+// on ties): the root is the worst result kept, so admitting a better
+// candidate is one root replacement and an O(log k) sift. Capacity is
+// allocated once, so a search over n entries costs O(n log k) time and
+// O(k) space per worker instead of the O(n log n) time and O(n) space of
+// scoring everything and sorting. With k <= 0 it degrades to an unbounded
+// append buffer (the "return everything" path still needs all results).
+type topK struct {
+	k     int
+	items []Result
+}
+
+func newTopK(k int) *topK {
+	if k > 0 {
+		return &topK{k: k, items: make([]Result, 0, k)}
+	}
+	return &topK{}
+}
+
+// worse reports whether a ranks strictly below b in the result order.
+// Ids are unique, so two distinct results never compare equal and the
+// order is total — which is what makes heap-pruned results byte-identical
+// to a full sort.
+func worse(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+// add offers a result, evicting the current worst if the heap is full.
+func (h *topK) add(r Result) {
+	if h.k <= 0 {
+		h.items = append(h.items, r)
+		return
+	}
+	if len(h.items) < h.k {
+		h.items = append(h.items, r)
+		h.up(len(h.items) - 1)
+		return
+	}
+	if worse(r, h.items[0]) {
+		return
+	}
+	h.items[0] = r
+	h.down(0)
+}
+
+func (h *topK) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(h.items[i], h.items[p]) {
+			return
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *topK) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && worse(h.items[l], h.items[m]) {
+			m = l
+		}
+		if r < n && worse(h.items[r], h.items[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+}
+
+// mergeTopK combines per-worker heaps into the final ranking: the union
+// of local top-k sets is a superset of the global top-k, so sorting the
+// at most workers*k survivors and truncating yields exactly the results
+// a full sort of all n scores would.
+func mergeTopK(heaps []*topK, k int) []Result {
+	total := 0
+	for _, h := range heaps {
+		total += len(h.items)
+	}
+	all := make([]Result, 0, total)
+	for _, h := range heaps {
+		all = append(all, h.items...)
+	}
+	sortResults(all)
+	if k <= 0 || len(all) <= k {
+		return all
+	}
+	// Copy after truncation so the oversized backing array (up to
+	// workers*k survivors) is released.
+	out := make([]Result, k)
+	copy(out, all[:k])
+	return out
+}

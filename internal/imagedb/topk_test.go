@@ -1,0 +1,330 @@
+package imagedb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"bestring/internal/core"
+	"bestring/internal/workload"
+)
+
+func TestTopKKeepsBestK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var all []Result
+	h := newTopK(5)
+	for i := 0; i < 200; i++ {
+		r := Result{ID: fmt.Sprintf("id%03d", i), Score: float64(rng.Intn(40)) / 40}
+		all = append(all, r)
+		h.add(r)
+	}
+	sortResults(all)
+	want := all[:5]
+	got := make([]Result, len(h.items))
+	copy(got, h.items)
+	sortResults(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heap kept %+v at %d, want %+v", got[i], i, want[i])
+		}
+	}
+}
+
+func TestTopKTieBreaksByID(t *testing.T) {
+	h := newTopK(2)
+	for _, id := range []string{"c", "a", "d", "b"} {
+		h.add(Result{ID: id, Score: 0.5})
+	}
+	got := make([]Result, len(h.items))
+	copy(got, h.items)
+	sortResults(got)
+	if got[0].ID != "a" || got[1].ID != "b" {
+		t.Errorf("tied top-2 = %v, want ids a, b", got)
+	}
+}
+
+func TestTopKUnboundedWhenKZero(t *testing.T) {
+	h := newTopK(0)
+	for i := 0; i < 50; i++ {
+		h.add(Result{ID: fmt.Sprintf("id%02d", i), Score: float64(i)})
+	}
+	if len(h.items) != 50 {
+		t.Errorf("unbounded heap kept %d, want all 50", len(h.items))
+	}
+}
+
+// seedSharded fills a database with the given shard count.
+func seedSharded(t *testing.T, shards, n int) (*DB, []core.Image) {
+	t.Helper()
+	db := NewSharded(shards)
+	g := workload.NewGenerator(workload.Config{Seed: 11, Vocabulary: 24})
+	scenes := g.Dataset(n)
+	for i, s := range scenes {
+		if err := db.Insert(fmt.Sprintf("img%03d", i), fmt.Sprintf("scene %d", i), s); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	return db, scenes
+}
+
+// referenceSearch is the seed engine's semantics, reimplemented serially:
+// score every candidate, sort everything, filter, truncate.
+func referenceSearch(db *DB, query core.Image, opts SearchOptions) []Result {
+	queryBE := core.MustConvert(query)
+	scorer := opts.Scorer
+	if scorer == nil {
+		scorer = BEScorer()
+	}
+	var all []Result
+	for _, id := range db.IDs() {
+		e, _ := db.Get(id)
+		score := scorer(query, queryBE, e)
+		if score < opts.MinScore {
+			continue
+		}
+		all = append(all, Result{ID: e.ID, Name: e.Name, Score: score})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].ID < all[j].ID
+	})
+	if opts.K > 0 && len(all) > opts.K {
+		all = all[:opts.K]
+	}
+	return all
+}
+
+// TestSearchMatchesFullSortReference is the engine-equivalence guarantee:
+// for the same (query, K, MinScore) the heap-merged ranking must be
+// byte-identical to the score-everything-then-sort reference, whatever the
+// shard count or worker parallelism.
+func TestSearchMatchesFullSortReference(t *testing.T) {
+	g := workload.NewGenerator(workload.Config{Seed: 31, Vocabulary: 20})
+	queries := []core.Image{g.Scene(), g.SubsetQuery(g.Scene(), 3)}
+	for _, shards := range []int{1, 3, 8} {
+		db, scenes := seedSharded(t, shards, 40)
+		queries = append(queries, scenes[7])
+		for _, q := range queries {
+			for _, opts := range []SearchOptions{
+				{},
+				{K: 1},
+				{K: 5},
+				{K: 40},
+				{K: 1000},
+				{K: 5, MinScore: 0.4},
+				{MinScore: 0.4},
+				{K: 3, Parallelism: 1},
+				{K: 3, Parallelism: 2},
+				{K: 3, Parallelism: 16},
+				{K: 5, LabelPrefilter: true},
+			} {
+				got, err := db.Search(context.Background(), q, opts)
+				if err != nil {
+					t.Fatalf("shards=%d opts=%+v: %v", shards, opts, err)
+				}
+				want := referenceSearch(db, q, opts)
+				if opts.LabelPrefilter {
+					// The reference scores everything; the prefiltered top-K
+					// must still lead it identically when K results survive.
+					if len(got) > len(want) {
+						t.Fatalf("shards=%d prefilter returned more than reference", shards)
+					}
+					want = want[:len(got)]
+				}
+				if len(got) != len(want) {
+					t.Fatalf("shards=%d opts=%+v: got %d results, want %d",
+						shards, opts, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("shards=%d opts=%+v: result %d = %+v, want %+v",
+							shards, opts, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSearchMinScoreBoundaryKept(t *testing.T) {
+	db := New()
+	img := core.Figure1Image()
+	if err := db.Insert("exact", "", img); err != nil {
+		t.Fatal(err)
+	}
+	// A result scoring exactly MinScore is kept (filter is strictly-below).
+	results, err := db.Search(context.Background(), img, SearchOptions{K: 5, MinScore: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].ID != "exact" || results[0].Score != 1 {
+		t.Errorf("boundary results = %+v, want exact @ 1.0", results)
+	}
+	results, err = db.Search(context.Background(), img, SearchOptions{K: 5, MinScore: 1.0000001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("above-boundary results = %+v, want none", results)
+	}
+}
+
+func TestSearchKLargerThanCorpus(t *testing.T) {
+	db, scenes := seedSharded(t, 4, 6)
+	results, err := db.Search(context.Background(), scenes[0], SearchOptions{K: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Errorf("K=500 over 6 images returned %d results", len(results))
+	}
+}
+
+func TestSearchAllTiedResultsOrderByID(t *testing.T) {
+	db := NewSharded(4)
+	img := core.Figure1Image()
+	// Identical images under shuffled ids: every score ties at 1.0, so the
+	// ranking must be pure ascending id whatever shard each lands on.
+	for _, id := range []string{"m", "c", "z", "a", "q", "f"} {
+		if err := db.Insert(id, "", img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := db.Search(context.Background(), img, SearchOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "c", "f", "m"}
+	for i, r := range results {
+		if r.ID != want[i] || r.Score != 1 {
+			t.Fatalf("tied results = %+v, want ids %v all @ 1.0", results, want)
+		}
+	}
+}
+
+func TestSearchCancelledMidShard(t *testing.T) {
+	db, scenes := seedSharded(t, 4, 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	// The scorer trips cancellation partway through the corpus, while
+	// workers are mid-shard; the search must report the context error.
+	scorer := func(q core.Image, qbe core.BEString, e Entry) float64 {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		return BEScorer()(q, qbe, e)
+	}
+	_, err := db.Search(ctx, scenes[0], SearchOptions{K: 3, Scorer: scorer, Parallelism: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestStatsAndShardCount(t *testing.T) {
+	db, _ := seedSharded(t, 5, 23)
+	if db.ShardCount() != 5 {
+		t.Fatalf("ShardCount = %d, want 5", db.ShardCount())
+	}
+	s := db.Stats()
+	if s.Shards != 5 || s.Images != 23 || len(s.PerShard) != 5 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	total := 0
+	for _, n := range s.PerShard {
+		total += n
+	}
+	if total != 23 {
+		t.Errorf("per-shard counts sum to %d, want 23", total)
+	}
+}
+
+func TestBulkInsertAtomicAcrossShards(t *testing.T) {
+	db := NewSharded(3)
+	g := workload.NewGenerator(workload.Config{Seed: 3, Vocabulary: 12})
+	if err := db.Insert("taken", "", g.Scene()); err != nil {
+		t.Fatal(err)
+	}
+	items := []BulkItem{
+		{ID: "a", Image: g.Scene()},
+		{ID: "taken", Image: g.Scene()}, // collides with the existing entry
+		{ID: "b", Image: g.Scene()},
+	}
+	if err := db.BulkInsert(context.Background(), items, 2); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+	if db.Len() != 1 {
+		t.Errorf("failed bulk insert left %d entries, want 1", db.Len())
+	}
+	ok := []BulkItem{
+		{ID: "a", Image: g.Scene()},
+		{ID: "b", Image: g.Scene()},
+		{ID: "c", Image: g.Scene()},
+	}
+	if err := db.BulkInsert(context.Background(), ok, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"taken", "a", "b", "c"}
+	got := db.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v (insertion order across shards)", got, want)
+		}
+	}
+}
+
+func TestInsertionOrderSurvivesShardingAndReload(t *testing.T) {
+	db, _ := seedSharded(t, 7, 12)
+	ids := db.IDs()
+	for i, id := range ids {
+		if want := fmt.Sprintf("img%03d", i); id != want {
+			t.Fatalf("ids[%d] = %q, want %q", i, id, want)
+		}
+	}
+	if err := db.Delete("img005"); err != nil {
+		t.Fatal(err)
+	}
+	ids = db.IDs()
+	if len(ids) != 11 || ids[5] != "img006" {
+		t.Errorf("order after delete = %v", ids)
+	}
+}
+
+// TestConcurrentUpdateAndSearch pins the copy-on-write invariant: search
+// workers read snapshot entries outside any lock, so in-place object
+// updates must replace the stored entry, never mutate it. Run under
+// -race this fails if updateImage writes a published entry.
+func TestConcurrentUpdateAndSearch(t *testing.T) {
+	db, scenes := seedSharded(t, 4, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			id := fmt.Sprintf("img%03d", i%16)
+			extra := core.Object{Label: fmt.Sprintf("xtra%d", i), Box: core.NewRect(0, 0, 1, 1)}
+			if err := db.InsertObject(id, extra); err != nil {
+				t.Errorf("InsertObject: %v", err)
+				return
+			}
+			if err := db.DeleteObject(id, extra.Label); err != nil {
+				t.Errorf("DeleteObject: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		if _, err := db.Search(context.Background(), scenes[i%16], SearchOptions{K: 3, Parallelism: 2}); err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		db.SearchRegion(core.NewRect(0, 0, 40, 40), "")
+	}
+	<-done
+}
