@@ -491,3 +491,58 @@ func BenchmarkSearchParallelism(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkQueryPipeline is experiment E10: the composable query
+// pipeline's staged narrowing (Where / region filters ahead of ranked
+// scoring) against the unfiltered ranked path, at three selectivities.
+// The corpus plants a "tagS left-of anchorS" pair in S% of images and a
+// "probe" icon in 10% of them.
+func BenchmarkQueryPipeline(b *testing.B) {
+	const n = 10000
+	sizes := n
+	if testing.Short() {
+		sizes = 1000
+	}
+	gen := workload.NewGenerator(workload.Config{Seed: 29, Vocabulary: 32, Objects: 8})
+	scenes := gen.Dataset(sizes)
+	items := make([]imagedb.BulkItem, sizes)
+	for i, s := range scenes {
+		for _, sel := range []int{1, 10, 100} {
+			if i%(100/sel) == 0 {
+				s = s.WithObject(core.Object{Label: fmt.Sprintf("tag%d", sel), Box: core.NewRect(0, 0, 1, 1)}).
+					WithObject(core.Object{Label: fmt.Sprintf("anchor%d", sel), Box: core.NewRect(3, 0, 4, 1)})
+			}
+		}
+		if i%10 == 0 {
+			s = s.WithObject(core.Object{Label: "probe", Box: core.NewRect(60, 60, 62, 62)})
+		}
+		items[i] = imagedb.BulkItem{ID: fmt.Sprintf("img%06d", i), Image: s}
+	}
+	db := imagedb.New()
+	ctx := context.Background()
+	if err := db.BulkInsert(ctx, items, 0); err != nil {
+		b.Fatal(err)
+	}
+	q := imagedb.NewQuery(gen.SubsetQuery(scenes[sizes/2], 4))
+
+	run := func(name string, opts ...imagedb.QueryOption) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				page, err := db.Query(ctx, q, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += len(page.Hits)
+			}
+		})
+	}
+	run("filter=none", imagedb.WithK(10))
+	run("filter=where-1pct", imagedb.WithK(10), imagedb.Where("tag1 left-of anchor1"))
+	run("filter=where-10pct", imagedb.WithK(10), imagedb.Where("tag10 left-of anchor10"))
+	run("filter=where-100pct", imagedb.WithK(10), imagedb.Where("tag100 left-of anchor100"))
+	run("filter=region-10pct", imagedb.WithK(10), imagedb.InRegionLabel(core.NewRect(59, 59, 63, 63), "probe"))
+	run("filter=where+region", imagedb.WithK(10),
+		imagedb.Where("tag10 left-of anchor10"),
+		imagedb.InRegionLabel(core.NewRect(59, 59, 63, 63), "probe"))
+}

@@ -7,7 +7,10 @@
 //
 //	bestring convert   -img scene.json
 //	bestring score     -query q.json -db d.json [-invariant]
-//	bestring search    -dbfile db.json -query q.json [-k 10] [-method be|invariant|type0|type1|type2]
+//	bestring search    -dbfile db.json [-query q.json] [-k 10] [-offset 0]
+//	                   [-method be|invariant|type0|type1|type2|symbols]
+//	                   [-dsl "A left-of B"] [-region x0,y0,x1,y1] [-region-label L]
+//	                   [-min-score 0.4]
 //	bestring transform -img scene.json -t rot90|rot180|rot270|flip-x|flip-y
 //	bestring mkdb      -out db.json [-count 50] [-seed 1] [-objects 8] [-vocab 24]
 //	bestring render    -img scene.json -out scene.png
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"bestring"
@@ -145,55 +149,110 @@ func cmdScore(args []string) error {
 	return nil
 }
 
-// scorerByName maps -method values to scorers.
+// scorerByName resolves -method values through the shared scorer
+// registry, so the CLI accepts exactly the names the library and the
+// REST server accept (including custom registrations).
 func scorerByName(name string) (bestring.Scorer, error) {
-	switch strings.ToLower(name) {
-	case "", "be":
-		return bestring.BEScorer(), nil
-	case "invariant":
-		return bestring.InvariantScorer(nil), nil
-	case "type0":
-		return bestring.TypeSimScorer(bestring.Type0), nil
-	case "type1":
-		return bestring.TypeSimScorer(bestring.Type1), nil
-	case "type2":
-		return bestring.TypeSimScorer(bestring.Type2), nil
-	default:
-		return nil, fmt.Errorf("unknown method %q (want be, invariant, type0, type1, type2)", name)
+	s, ok := bestring.LookupScorer(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown method %q (want %s)",
+			name, strings.Join(bestring.ScorerNames(), ", "))
 	}
+	return s, nil
+}
+
+// parseRegionFlag reads a -region "x0,y0,x1,y1" value.
+func parseRegionFlag(s string) (bestring.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return bestring.Rect{}, fmt.Errorf("bad region %q (want x0,y0,x1,y1)", s)
+	}
+	var coords [4]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return bestring.Rect{}, fmt.Errorf("bad region coordinate %q: %w", p, err)
+		}
+		coords[i] = v
+	}
+	return bestring.NewRect(coords[0], coords[1], coords[2], coords[3]), nil
 }
 
 func cmdSearch(args []string) error {
 	fs := flag.NewFlagSet("search", flag.ContinueOnError)
 	dbPath := fs.String("dbfile", "", "database JSON file (see mkdb)")
-	qPath := fs.String("query", "", "query image JSON file")
+	qPath := fs.String("query", "", "query image JSON file (optional with -dsl or -region)")
 	k := fs.Int("k", 10, "number of results")
-	method := fs.String("method", "be", "scoring method: be, invariant, type0, type1, type2")
+	offset := fs.Int("offset", 0, "skip the first N results")
+	method := fs.String("method", "be", "scoring method (a registered scorer name)")
+	dsl := fs.String("dsl", "", `spatial-predicate filter, e.g. "A left-of B; B above C"`)
+	region := fs.String("region", "", `region filter "x0,y0,x1,y1" (icons intersecting it)`)
+	regionLabel := fs.String("region-label", "", "restrict -region to icons with this label")
+	minScore := fs.Float64("min-score", 0, "drop results scoring below the threshold")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *dbPath == "" || *qPath == "" {
-		return fmt.Errorf("search: -dbfile and -query are required")
+	if *dbPath == "" {
+		return fmt.Errorf("search: -dbfile is required")
+	}
+	if *qPath == "" && *dsl == "" && *region == "" {
+		return fmt.Errorf("search: need -query, -dsl or -region")
 	}
 	db, err := bestring.LoadDBFile(*dbPath)
 	if err != nil {
 		return err
 	}
-	img, err := loadImage(*qPath)
-	if err != nil {
-		return err
+
+	var q *bestring.Query
+	if *qPath != "" {
+		img, err := loadImage(*qPath)
+		if err != nil {
+			return err
+		}
+		q = bestring.NewQuery(img)
+	} else {
+		q = bestring.NewMatchQuery()
 	}
 	scorer, err := scorerByName(*method)
 	if err != nil {
 		return err
 	}
-	results, err := db.Search(context.Background(), img, bestring.SearchOptions{K: *k, Scorer: scorer})
+	opts := []bestring.QueryOption{
+		bestring.WithK(*k),
+		bestring.WithOffset(*offset),
+		bestring.WithScorerFunc(scorer),
+		bestring.WithMinScore(*minScore),
+	}
+	if *dsl != "" {
+		opts = append(opts, bestring.Where(*dsl))
+	}
+	if *regionLabel != "" && *region == "" {
+		return fmt.Errorf("search: -region-label requires -region")
+	}
+	if *region != "" {
+		r, err := parseRegionFlag(*region)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, bestring.InRegionLabel(r, *regionLabel))
+	}
+	page, err := db.Query(context.Background(), q, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-4s %-20s %-10s %s\n", "rank", "id", "score", "name")
-	for i, r := range results {
-		fmt.Printf("%-4d %-20s %-10.4f %s\n", i+1, r.ID, r.Score, r.Name)
+	if *dsl != "" {
+		fmt.Printf("%-4s %-20s %-10s %-8s %-5s %s\n", "rank", "id", "score", "where", "full", "name")
+		for i, h := range page.Hits {
+			fmt.Printf("%-4d %-20s %-10.4f %-8.4f %-5v %s\n", i+*offset+1, h.ID, h.Score, h.Where, h.Full, h.Name)
+		}
+	} else {
+		fmt.Printf("%-4s %-20s %-10s %s\n", "rank", "id", "score", "name")
+		for i, h := range page.Hits {
+			fmt.Printf("%-4d %-20s %-10.4f %s\n", i+*offset+1, h.ID, h.Score, h.Name)
+		}
+	}
+	if page.NextCursor != "" {
+		fmt.Printf("(%d of %d results; next offset %d)\n", len(page.Hits), page.Total, *offset+len(page.Hits))
 	}
 	return nil
 }

@@ -117,3 +117,47 @@ func TestLoadImageRejectsBadJSON(t *testing.T) {
 		t.Error("invalid image accepted")
 	}
 }
+
+// TestSearchComposedFlags drives the composable query surface: DSL and
+// region filters on top of (or instead of) ranked search.
+func TestSearchComposedFlags(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.json")
+	db := bestring.NewDB()
+	fig := bestring.Figure1Image()
+	if err := db.Insert("fig1", "figure one", fig); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("fig1-rot", "rotated", bestring.ApplyToImage(fig, bestring.Rot90)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveFile(dbPath); err != nil {
+		t.Fatal(err)
+	}
+	img := writeFig1(t)
+
+	for _, args := range [][]string{
+		{"search", "-dbfile", dbPath, "-query", img, "-dsl", "A left-of B", "-k", "5"},
+		{"search", "-dbfile", dbPath, "-query", img, "-region", "0,0,6,6", "-region-label", "A"},
+		{"search", "-dbfile", dbPath, "-dsl", "A left-of B"},
+		{"search", "-dbfile", dbPath, "-region", "0,0,6,6"},
+		{"search", "-dbfile", dbPath, "-query", img, "-min-score", "0.5", "-offset", "1"},
+		{"search", "-dbfile", dbPath, "-query", img, "-method", "symbols"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	for _, args := range [][]string{
+		{"search", "-dbfile", dbPath}, // no query component at all
+		{"search", "-dbfile", dbPath, "-dsl", "A sideways B"},
+		{"search", "-dbfile", dbPath, "-region", "1,2,3"},
+		{"search", "-dbfile", dbPath, "-region", "a,b,c,d"},
+		{"search", "-dbfile", dbPath, "-query", img, "-region-label", "A"}, // label without region
+
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("%v: accepted, want error", args)
+		}
+	}
+}

@@ -130,10 +130,16 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			k = v
 		}
 	}
-	scorer := bestring.BEScorer()
+	// Resolve through the shared scorer registry; a transformed query is
+	// the showcase for string-level invariance.
+	scorerName := bestring.DefaultScorerName
 	if trName != "" {
-		// A transformed query is the showcase for string-level invariance.
-		scorer = bestring.InvariantScorer(nil)
+		scorerName = "invariant"
+	}
+	scorer, ok := bestring.LookupScorer(scorerName)
+	if !ok {
+		http.Error(w, fmt.Sprintf("scorer %q not registered", scorerName), http.StatusInternalServerError)
+		return
 	}
 	results, err := s.db.Search(r.Context(), img, bestring.SearchOptions{K: k, Scorer: scorer})
 	if err != nil {

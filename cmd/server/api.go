@@ -1,27 +1,47 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"bestring"
 )
 
-// newMux wires the REST routes onto a database.
+// maxBodyBytes bounds JSON request bodies so a misbehaving client cannot
+// exhaust memory before the decoder sees the payload.
+const maxBodyBytes = 1 << 20
+
+// statusClientClosedRequest reports a request whose client went away
+// before the response was computed (nginx's 499 convention).
+const statusClientClosedRequest = 499
+
+// maxBatchQueries bounds one POST /api/v1/search batch.
+const maxBatchQueries = 64
+
+// newMux wires the REST routes onto a database. Resource routes are
+// served under both /api and /api/v1; the composable query endpoint
+// POST /api/v1/search supersedes the v0 trio (POST /api/search,
+// GET /api/search/dsl, GET /api/region), which stay as aliases of the
+// same pipeline.
 func newMux(db *bestring.DB) http.Handler {
 	api := &api{db: db}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", api.health)
-	mux.HandleFunc("GET /api/images", api.listImages)
-	mux.HandleFunc("POST /api/images", api.insertImage)
-	mux.HandleFunc("GET /api/images/{id}", api.getImage)
-	mux.HandleFunc("DELETE /api/images/{id}", api.deleteImage)
+	for _, p := range []string{"/api", "/api/v1"} {
+		mux.HandleFunc("GET "+p+"/images", api.listImages)
+		mux.HandleFunc("POST "+p+"/images", api.insertImage)
+		mux.HandleFunc("GET "+p+"/images/{id}", api.getImage)
+		mux.HandleFunc("DELETE "+p+"/images/{id}", api.deleteImage)
+		mux.HandleFunc("GET "+p+"/search/dsl", api.searchDSL)
+		mux.HandleFunc("GET "+p+"/region", api.region)
+	}
 	mux.HandleFunc("POST /api/search", api.search)
-	mux.HandleFunc("GET /api/search/dsl", api.searchDSL)
-	mux.HandleFunc("GET /api/region", api.region)
+	mux.HandleFunc("POST /api/v1/search", api.searchV1)
 	return mux
 }
 
@@ -40,6 +60,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeErr emits a JSON error envelope.
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodeBody reads a JSON body under the maxBodyBytes limit and reports
+// the HTTP status a decode failure deserves (413 for an oversized body,
+// 400 otherwise). strict rejects unknown fields — used by the v1 route
+// so a v0 client still sending "method" instead of "scorer" gets a 400
+// instead of silently ranking with the default scorer; the v0 aliases
+// keep the lenient decoding they always had.
+func decodeBody(w http.ResponseWriter, r *http.Request, strict bool, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if strict {
+		dec.DisallowUnknownFields()
+	}
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", tooBig.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("decode body: %w", err)
+	}
+	return 0, nil
+}
+
+// queryStatus classifies a query-pipeline error: cancellations are the
+// client's doing, deadlines are timeouts, anything else the pipeline
+// rejects is a bad request — never a 500.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func (a *api) health(w http.ResponseWriter, _ *http.Request) {
@@ -62,8 +118,8 @@ type insertRequest struct {
 
 func (a *api) insertImage(w http.ResponseWriter, r *http.Request) {
 	var req insertRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+	if status, err := decodeBody(w, r, false, &req); err != nil {
+		writeErr(w, status, err)
 		return
 	}
 	if err := a.db.Insert(req.ID, req.Name, req.Image); err != nil {
@@ -94,13 +150,13 @@ func (a *api) deleteImage(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
 }
 
-// searchRequest is the POST /api/search payload. K, minScore, parallelism
-// and labelPrefilter map directly onto bestring.SearchOptions, so clients
-// can tune the engine per request.
+// searchRequest is the POST /api/search payload (v0). K, minScore,
+// parallelism and labelPrefilter map directly onto
+// bestring.SearchOptions, so clients can tune the engine per request.
 type searchRequest struct {
 	Image  bestring.Image `json:"image"`
 	K      int            `json:"k"`
-	Method string         `json:"method"` // be (default), invariant, type0, type1, type2
+	Method string         `json:"method"` // a registered scorer name; see /api/v1/search
 	// MinScore drops results scoring below the threshold.
 	MinScore float64 `json:"minScore"`
 	// Parallelism bounds the scoring workers (0 means GOMAXPROCS).
@@ -111,24 +167,17 @@ type searchRequest struct {
 
 func (a *api) search(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+	if status, err := decodeBody(w, r, false, &req); err != nil {
+		writeErr(w, status, err)
 		return
 	}
-	var scorer bestring.Scorer
-	switch req.Method {
-	case "", "be":
-		scorer = bestring.BEScorer()
-	case "invariant":
-		scorer = bestring.InvariantScorer(nil)
-	case "type0":
-		scorer = bestring.TypeSimScorer(bestring.Type0)
-	case "type1":
-		scorer = bestring.TypeSimScorer(bestring.Type1)
-	case "type2":
-		scorer = bestring.TypeSimScorer(bestring.Type2)
-	default:
+	scorer, ok := bestring.LookupScorer(req.Method)
+	if !ok {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown method %q", req.Method))
+		return
+	}
+	if req.K < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %d", req.K))
 		return
 	}
 	if req.Parallelism < 0 {
@@ -143,7 +192,7 @@ func (a *api) search(w http.ResponseWriter, r *http.Request) {
 		LabelPrefilter: req.LabelPrefilter,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, queryStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
@@ -165,7 +214,10 @@ func (a *api) searchDSL(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := a.db.SearchDSL(r.Context(), q, k)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		// The query parsed, so a failure here is a cancellation, a
+		// timeout, or a pipeline rejection — a client condition, not an
+		// internal error.
+		writeErr(w, queryStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"query": q.String(), "results": results})
@@ -191,4 +243,133 @@ func (a *api) region(w http.ResponseWriter, r *http.Request) {
 	}
 	hits := a.db.SearchRegion(bestring.NewRect(x0, y0, x1, y1), r.URL.Query().Get("label"))
 	writeJSON(w, http.StatusOK, map[string]any{"hits": hits})
+}
+
+// queryRequest is the POST /api/v1/search payload: any combination of a
+// query image (ranked similarity), a spatial-predicate expression and a
+// region, plus pagination and engine knobs — or a batch of them under
+// "queries", evaluated concurrently.
+type queryRequest struct {
+	Image       *bestring.Image `json:"image,omitempty"`
+	DSL         string          `json:"dsl,omitempty"`
+	Region      *bestring.Rect  `json:"region,omitempty"`
+	RegionLabel string          `json:"regionLabel,omitempty"`
+	// Scorer names a registered scorer ("" means the default BE-LCS).
+	Scorer string `json:"scorer,omitempty"`
+	K      int    `json:"k,omitempty"`
+	Offset int    `json:"offset,omitempty"`
+	// Cursor resumes after a previous response's nextCursor.
+	Cursor   string  `json:"cursor,omitempty"`
+	MinScore float64 `json:"minScore,omitempty"`
+	// WhereMin overrides the satisfied fraction the DSL filter requires.
+	WhereMin       float64 `json:"whereMin,omitempty"`
+	Parallelism    int     `json:"parallelism,omitempty"`
+	LabelPrefilter bool    `json:"labelPrefilter,omitempty"`
+
+	Queries []queryRequest `json:"queries,omitempty"`
+}
+
+// buildQuery compiles one request into a pipeline query.
+func buildQuery(req queryRequest) (*bestring.Query, []bestring.QueryOption, error) {
+	if req.RegionLabel != "" && req.Region == nil {
+		return nil, nil, fmt.Errorf("regionLabel requires region")
+	}
+	var q *bestring.Query
+	if req.Image != nil {
+		q = bestring.NewQuery(*req.Image)
+	} else {
+		q = bestring.NewMatchQuery()
+	}
+	opts := []bestring.QueryOption{
+		bestring.WithK(req.K),
+		bestring.WithOffset(req.Offset),
+		bestring.WithCursor(req.Cursor),
+		bestring.WithScorer(req.Scorer),
+		bestring.WithMinScore(req.MinScore),
+		bestring.WithParallelism(req.Parallelism),
+		bestring.WithLabelPrefilter(req.LabelPrefilter),
+	}
+	if req.DSL != "" {
+		opts = append(opts, bestring.Where(req.DSL))
+	}
+	if req.Region != nil {
+		opts = append(opts, bestring.InRegionLabel(*req.Region, req.RegionLabel))
+	}
+	if req.WhereMin != 0 {
+		opts = append(opts, bestring.WithWhereMin(req.WhereMin))
+	}
+	return q, opts, nil
+}
+
+// queryResponse is one evaluated query of a batch (or the whole response
+// for a single query): a page on success, an error envelope otherwise.
+type queryResponse struct {
+	Hits       []bestring.QueryHit `json:"hits"`
+	Total      int                 `json:"total"`
+	NextCursor string              `json:"nextCursor,omitempty"`
+	Error      string              `json:"error,omitempty"`
+	Status     int                 `json:"status,omitempty"` // set only on per-query batch errors
+}
+
+func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if status, err := decodeBody(w, r, true, &req); err != nil {
+		writeErr(w, status, err)
+		return
+	}
+
+	if len(req.Queries) > 0 {
+		if req.Image != nil || req.DSL != "" || req.Region != nil {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("queries cannot be combined with a top-level image, dsl or region"))
+			return
+		}
+		if len(req.Queries) > maxBatchQueries {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries))
+			return
+		}
+		for _, sub := range req.Queries {
+			if len(sub.Queries) > 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("queries cannot nest"))
+				return
+			}
+		}
+		out := make([]queryResponse, len(req.Queries))
+		var wg sync.WaitGroup
+		for i, sub := range req.Queries {
+			wg.Add(1)
+			go func(i int, sub queryRequest) {
+				defer wg.Done()
+				q, opts, err := buildQuery(sub)
+				if err != nil {
+					out[i] = queryResponse{Hits: []bestring.QueryHit{}, Error: err.Error(), Status: http.StatusBadRequest}
+					return
+				}
+				page, err := a.db.Query(r.Context(), q, opts...)
+				if err != nil {
+					out[i] = queryResponse{Hits: []bestring.QueryHit{}, Error: err.Error(), Status: queryStatus(err)}
+					return
+				}
+				out[i] = queryResponse{Hits: page.Hits, Total: page.Total, NextCursor: page.NextCursor}
+			}(i, sub)
+		}
+		wg.Wait()
+		writeJSON(w, http.StatusOK, map[string]any{"results": out})
+		return
+	}
+
+	q, opts, err := buildQuery(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	page, err := a.db.Query(r.Context(), q, opts...)
+	if err != nil {
+		writeErr(w, queryStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Hits: page.Hits, Total: page.Total, NextCursor: page.NextCursor,
+	})
 }

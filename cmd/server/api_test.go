@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -295,5 +296,281 @@ func TestHealthReportsShards(t *testing.T) {
 	decode(t, rec, &out)
 	if !out.OK || out.Images != 4 || out.Shards != 3 {
 		t.Errorf("health = %+v, want 4 images over 3 shards", out)
+	}
+}
+
+// spatialMux builds a server over a corpus where the composed filters
+// have known selectivity: every third image satisfies "tag left-of
+// anchor" and every fourth has a "probe" icon inside (48,48)-(60,60).
+func spatialMux(t *testing.T, n int) (http.Handler, *bestring.DB) {
+	t.Helper()
+	db := bestring.NewDB()
+	gen := bestring.NewSceneGenerator(bestring.SceneConfig{Seed: 9, Vocabulary: 12})
+	for i := 0; i < n; i++ {
+		img := gen.Scene()
+		if i%3 == 0 {
+			img = img.WithObject(bestring.Object{Label: "tag", Box: bestring.NewRect(1, 1, 3, 3)}).
+				WithObject(bestring.Object{Label: "anchor", Box: bestring.NewRect(10, 1, 12, 3)})
+		}
+		if i%4 == 0 {
+			img = img.WithObject(bestring.Object{Label: "probe", Box: bestring.NewRect(50, 50, 55, 55)})
+		}
+		if err := db.Insert(fmt.Sprintf("img%03d", i), "", img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return newMux(db), db
+}
+
+type v1Response struct {
+	Hits       []bestring.QueryHit `json:"hits"`
+	Total      int                 `json:"total"`
+	NextCursor string              `json:"nextCursor"`
+	Error      string              `json:"error"`
+	Status     int                 `json:"status"`
+}
+
+// TestSearchNegativeK pins the v0 satellite fix: a negative K used to
+// silently mean "all results"; it is now a 400.
+func TestSearchNegativeK(t *testing.T) {
+	db, err := openDB("", 5, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := db.Get("scene0001")
+	rec := do(t, newMux(db), http.MethodPost, "/api/search", map[string]any{
+		"image": entry.Image, "k": -1,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("negative k status = %d, want 400", rec.Code)
+	}
+}
+
+// TestV1SearchCombined is the acceptance scenario: image + DSL + region
+// in one request returns correctly ranked, paginated results.
+func TestV1SearchCombined(t *testing.T) {
+	mux, db := spatialMux(t, 48)
+	entry, ok := db.Get("img012") // satisfies the DSL and the region
+	if !ok {
+		t.Fatal("img012 missing")
+	}
+	region := bestring.NewRect(48, 48, 60, 60)
+	base := map[string]any{
+		"image": entry.Image, "dsl": "tag left-of anchor",
+		"region": region, "regionLabel": "probe",
+	}
+
+	rec := do(t, mux, http.MethodPost, "/api/v1/search", base)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var full v1Response
+	decode(t, rec, &full)
+	// Images at i%12 == 0 satisfy both filters: 48/12 = 4 candidates.
+	if full.Total != 4 || len(full.Hits) != 4 {
+		t.Fatalf("combined total = %d, hits = %d, want 4", full.Total, len(full.Hits))
+	}
+	if full.Hits[0].ID != "img012" || full.Hits[0].Score != 1 || !full.Hits[0].Full {
+		t.Fatalf("top hit = %+v, want img012 @ 1.0 full", full.Hits[0])
+	}
+	for i := 1; i < len(full.Hits); i++ {
+		prev, cur := full.Hits[i-1], full.Hits[i]
+		if cur.Score > prev.Score || (cur.Score == prev.Score && cur.ID < prev.ID) {
+			t.Fatalf("hits out of rank order: %+v before %+v", prev, cur)
+		}
+	}
+
+	// Page through the same query with k=3: the concatenation must
+	// reproduce the one-shot ranking with no duplicates.
+	var walked []bestring.QueryHit
+	cursor := ""
+	for {
+		req := map[string]any{}
+		for k, v := range base {
+			req[k] = v
+		}
+		req["k"] = 3
+		if cursor != "" {
+			req["cursor"] = cursor
+		}
+		rec := do(t, mux, http.MethodPost, "/api/v1/search", req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("page status = %d: %s", rec.Code, rec.Body.String())
+		}
+		var page v1Response
+		decode(t, rec, &page)
+		walked = append(walked, page.Hits...)
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(walked) != len(full.Hits) {
+		t.Fatalf("walked %d hits, want %d", len(walked), len(full.Hits))
+	}
+	for i := range walked {
+		if walked[i] != full.Hits[i] {
+			t.Fatalf("walked[%d] = %+v, want %+v", i, walked[i], full.Hits[i])
+		}
+	}
+}
+
+// TestV1SearchModes covers the non-combined single-query modes: DSL
+// only (ranked by satisfied fraction) and region only (id order).
+func TestV1SearchModes(t *testing.T) {
+	mux, _ := spatialMux(t, 24)
+	rec := do(t, mux, http.MethodPost, "/api/v1/search", map[string]any{
+		"dsl": "tag left-of anchor",
+	})
+	var out v1Response
+	decode(t, rec, &out)
+	if rec.Code != http.StatusOK || out.Total != 8 { // every third of 24
+		t.Fatalf("dsl-only status %d total %d, want 200/8: %s", rec.Code, out.Total, rec.Body.String())
+	}
+	for _, h := range out.Hits {
+		if h.Score != 1 || !h.Full || h.Where != 1 {
+			t.Fatalf("dsl-only hit = %+v", h)
+		}
+	}
+
+	rec = do(t, mux, http.MethodPost, "/api/v1/search", map[string]any{
+		"region": bestring.NewRect(48, 48, 60, 60), "regionLabel": "probe",
+	})
+	decode(t, rec, &out)
+	if rec.Code != http.StatusOK || out.Total != 6 { // every fourth of 24
+		t.Fatalf("region-only status %d total %d, want 200/6: %s", rec.Code, out.Total, rec.Body.String())
+	}
+	for i := 1; i < len(out.Hits); i++ {
+		if out.Hits[i-1].ID >= out.Hits[i].ID {
+			t.Fatalf("region-only hits not in id order: %+v", out.Hits)
+		}
+	}
+}
+
+// TestV1Batch checks a batch runs every sub-query and isolates per-query
+// failures.
+func TestV1Batch(t *testing.T) {
+	mux, db := spatialMux(t, 24)
+	entry, _ := db.Get("img000")
+	rec := do(t, mux, http.MethodPost, "/api/v1/search", map[string]any{
+		"queries": []map[string]any{
+			{"image": entry.Image, "k": 2},
+			{"dsl": "tag left-of anchor", "k": 3},
+			{"scorer": "no-such-scorer", "dsl": "tag left-of anchor"},
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Results []v1Response `json:"results"`
+	}
+	decode(t, rec, &out)
+	if len(out.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(out.Results))
+	}
+	if len(out.Results[0].Hits) != 2 || out.Results[0].Hits[0].ID != "img000" {
+		t.Errorf("batch[0] = %+v", out.Results[0])
+	}
+	if len(out.Results[1].Hits) != 3 || out.Results[1].Error != "" {
+		t.Errorf("batch[1] = %+v", out.Results[1])
+	}
+	if out.Results[2].Error == "" || out.Results[2].Status != http.StatusBadRequest {
+		t.Errorf("batch[2] = %+v, want per-query 400 error", out.Results[2])
+	}
+}
+
+// TestV1StatusCodes sweeps the v1 handler's client-error paths.
+func TestV1StatusCodes(t *testing.T) {
+	mux, db := spatialMux(t, 6)
+	entry, _ := db.Get("img000")
+	cases := []struct {
+		name string
+		body map[string]any
+		want int
+	}{
+		{"empty spec", map[string]any{}, http.StatusBadRequest},
+		{"unknown scorer", map[string]any{"image": entry.Image, "scorer": "cosine"}, http.StatusBadRequest},
+		{"negative k", map[string]any{"image": entry.Image, "k": -2}, http.StatusBadRequest},
+		{"negative offset", map[string]any{"image": entry.Image, "offset": -1}, http.StatusBadRequest},
+		{"bad cursor", map[string]any{"image": entry.Image, "cursor": "???"}, http.StatusBadRequest},
+		{"bad dsl", map[string]any{"dsl": "tag sideways anchor"}, http.StatusBadRequest},
+		{"bad wheremin", map[string]any{"dsl": "tag left-of anchor", "whereMin": 7}, http.StatusBadRequest},
+		{"v0 field name", map[string]any{"image": entry.Image, "method": "invariant"}, http.StatusBadRequest},
+		{"regionLabel without region", map[string]any{"image": entry.Image, "regionLabel": "probe"}, http.StatusBadRequest},
+		{"batch plus top-level", map[string]any{
+			"dsl": "tag left-of anchor", "queries": []map[string]any{{"dsl": "tag left-of anchor"}},
+		}, http.StatusBadRequest},
+		{"nested batch", map[string]any{
+			"queries": []map[string]any{{"queries": []map[string]any{{"dsl": "x left-of y"}}}},
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if rec := do(t, mux, http.MethodPost, "/api/v1/search", tc.body); rec.Code != tc.want {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+	// Malformed JSON.
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/search", bytes.NewBufferString("{"))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed json status = %d", rec.Code)
+	}
+}
+
+// TestBodyLimit pins the MaxBytesReader satellite: oversized JSON bodies
+// are rejected with 413, on the insert route and both search routes.
+func TestBodyLimit(t *testing.T) {
+	mux, _ := spatialMux(t, 1)
+	huge := bytes.Repeat([]byte("x"), maxBodyBytes+1024)
+	for _, path := range []string{"/api/images", "/api/search", "/api/v1/search"} {
+		body, _ := json.Marshal(map[string]any{"name": string(huge)})
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized body status = %d, want 413", path, rec.Code)
+		}
+	}
+}
+
+// TestDSLCancellationStatus pins the error-class satellite: a request
+// whose context is already cancelled surfaces as a client-side 499, not
+// a 500.
+func TestDSLCancellationStatus(t *testing.T) {
+	mux, _ := spatialMux(t, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/api/search/dsl?q=tag+left-of+anchor", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Errorf("cancelled dsl status = %d, want %d (%s)", rec.Code, statusClientClosedRequest, rec.Body.String())
+	}
+
+	body, _ := json.Marshal(map[string]any{"dsl": "tag left-of anchor"})
+	req = httptest.NewRequest(http.MethodPost, "/api/v1/search", bytes.NewReader(body)).WithContext(ctx)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Errorf("cancelled v1 status = %d, want %d (%s)", rec.Code, statusClientClosedRequest, rec.Body.String())
+	}
+}
+
+// TestV1Aliases checks the resource routes answer under /api/v1 too.
+func TestV1Aliases(t *testing.T) {
+	mux, _ := spatialMux(t, 8)
+	if rec := do(t, mux, http.MethodGet, "/api/v1/images", nil); rec.Code != http.StatusOK {
+		t.Errorf("v1 images status = %d", rec.Code)
+	}
+	if rec := do(t, mux, http.MethodGet, "/api/v1/images/img000", nil); rec.Code != http.StatusOK {
+		t.Errorf("v1 image get status = %d", rec.Code)
+	}
+	if rec := do(t, mux, http.MethodGet, "/api/v1/search/dsl?q=tag+left-of+anchor", nil); rec.Code != http.StatusOK {
+		t.Errorf("v1 dsl status = %d", rec.Code)
+	}
+	if rec := do(t, mux, http.MethodGet, "/api/v1/region?x0=48&y0=48&x1=60&y1=60", nil); rec.Code != http.StatusOK {
+		t.Errorf("v1 region status = %d", rec.Code)
 	}
 }

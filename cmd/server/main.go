@@ -2,17 +2,21 @@
 // API — the headless counterpart of cmd/demo, suitable for embedding the
 // retrieval system in a larger application.
 //
-// Endpoints:
+// Endpoints (resource routes answer under both /api and /api/v1):
 //
 //	GET    /healthz                           liveness
 //	GET    /api/images                        list stored ids
 //	POST   /api/images                        insert {"id","name","image"}
 //	GET    /api/images/{id}                   fetch one entry
 //	DELETE /api/images/{id}                   remove one entry
-//	POST   /api/search                        rank {"image",k,method,
-//	                                          minScore,parallelism,labelPrefilter}
-//	GET    /api/search/dsl?q=A+left-of+B&k=5  spatial-predicate search
-//	GET    /api/region?x0=&y0=&x1=&y1=&label= R-tree icon lookup
+//	POST   /api/v1/search                     composable query: any mix of
+//	                                          {"image","dsl","region","regionLabel",
+//	                                          "scorer",k,offset,"cursor",minScore,
+//	                                          whereMin,parallelism,labelPrefilter},
+//	                                          or a concurrent batch {"queries":[...]}
+//	POST   /api/search                        v0 ranked search (alias of the pipeline)
+//	GET    /api/search/dsl?q=A+left-of+B&k=5  v0 spatial-predicate search (alias)
+//	GET    /api/region?x0=&y0=&x1=&y1=&label= v0 R-tree icon lookup (alias)
 //
 // Usage:
 //

@@ -65,3 +65,30 @@ func ExampleDB_Search() {
 	// fig1 1.000
 	// fig1-partial 0.857
 }
+
+// ExampleDB_Query composes ranked similarity with a spatial-predicate
+// filter in one request: rank by BE-LCS among images where C overlaps B.
+// The partial image (no C) is filtered out before scoring; the rotated
+// variant survives the filter and ranks by its graded similarity.
+func ExampleDB_Query() {
+	img := bestring.Figure1Image()
+	partial, _ := img.WithoutObject("C")
+
+	db := bestring.NewDB()
+	_ = db.Insert("fig1", "figure 1", img)
+	_ = db.Insert("fig1-partial", "A and B only", partial)
+	_ = db.Insert("fig1-rot", "rotated", bestring.ApplyToImage(img, bestring.Rot90))
+
+	page, err := db.Query(context.Background(), bestring.NewQuery(img),
+		bestring.WithK(5),
+		bestring.Where("C overlaps B"))
+	if err != nil {
+		panic(err)
+	}
+	for _, h := range page.Hits {
+		fmt.Printf("%s %.3f full=%v\n", h.ID, h.Score, h.Full)
+	}
+	// Output:
+	// fig1 1.000 full=true
+	// fig1-rot 0.667 full=true
+}

@@ -166,3 +166,21 @@ func TestSearchScalingTable(t *testing.T) {
 		}
 	}
 }
+
+func TestFilteredSearchTable(t *testing.T) {
+	tab, err := FilteredSearch([]int{100, 200}, []int{10, 100}, 5)
+	if err != nil {
+		t.Fatalf("FilteredSearch: %v", err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 2 sizes x 2 selectivities", len(tab.Rows))
+	}
+	// At 10% selectivity of a 100-image corpus the Where clause must
+	// leave exactly 10 candidates; at 100%, the whole corpus.
+	if tab.Rows[0][2] != "10" || tab.Rows[1][2] != "100" {
+		t.Errorf("candidate counts = %q/%q, want 10/100", tab.Rows[0][2], tab.Rows[1][2])
+	}
+	if _, err := FilteredSearch([]int{50}, []int{7}, 5); err == nil {
+		t.Error("selectivity not dividing 100 accepted")
+	}
+}

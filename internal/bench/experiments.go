@@ -390,6 +390,88 @@ func SearchScaling(sizes []int, k int) (*Table, error) {
 	return t, nil
 }
 
+// FilteredSearch is experiment E10 (the pipeline experiment, not from
+// the paper): ranked-retrieval latency when the composable query
+// pipeline narrows candidates before scoring, over a corpus sweep and a
+// filter-selectivity sweep. A selectivity of s% plants a
+// "tagS left-of anchorS" icon pair in s% of the corpus; the query then
+// ranks by BE-LCS among images satisfying the clause, so scoring work
+// shrinks with the surviving candidate count while the unfiltered
+// column pays the full corpus every time.
+func FilteredSearch(sizes []int, selectivities []int, k int) (*Table, error) {
+	t := &Table{
+		ID: "E10",
+		Caption: fmt.Sprintf(
+			"filtered-search scaling: Where-narrowed top-%d pipeline vs unfiltered ranked search", k),
+		Header: []string{"images", "selectivity", "candidates", "unfiltered us/op", "filtered us/op", "speedup"},
+	}
+	ctx := context.Background()
+	for _, sel := range selectivities {
+		if sel <= 0 || sel > 100 || 100%sel != 0 {
+			return nil, fmt.Errorf("E10: selectivity %d%% must divide 100", sel)
+		}
+	}
+	for _, n := range sizes {
+		gen := workload.NewGenerator(workload.Config{
+			Seed: DefaultSeed + 10, Vocabulary: 32, Objects: 8,
+		})
+		scenes := gen.Dataset(n)
+		items := make([]imagedb.BulkItem, n)
+		for i, s := range scenes {
+			// Plant one marker pair per selectivity tier on its share of
+			// the corpus (i%1 == 0 marks everything: the 100% tier).
+			for _, sel := range selectivities {
+				if mod := 100 / sel; i%mod == 0 {
+					s = s.WithObject(core.Object{
+						Label: fmt.Sprintf("tag%d", sel), Box: core.NewRect(0, 0, 1, 1),
+					}).WithObject(core.Object{
+						Label: fmt.Sprintf("anchor%d", sel), Box: core.NewRect(3, 0, 4, 1),
+					})
+				}
+			}
+			items[i] = imagedb.BulkItem{ID: fmt.Sprintf("img%06d", i), Image: s}
+		}
+		db := imagedb.New()
+		if err := db.BulkInsert(ctx, items, 0); err != nil {
+			return nil, fmt.Errorf("E10: %w", err)
+		}
+		query := gen.SubsetQuery(scenes[n/2], 4)
+		var opErr error
+		baseD := MeasureOp(defaultMeasure, func() {
+			page, err := db.Query(ctx, imagedb.NewQuery(query), imagedb.WithK(k))
+			if err != nil {
+				opErr = err
+				return
+			}
+			Sink += len(page.Hits)
+		})
+		if opErr != nil {
+			return nil, fmt.Errorf("E10: %w", opErr)
+		}
+		for _, sel := range selectivities {
+			where := fmt.Sprintf("tag%d left-of anchor%d", sel, sel)
+			candidates := 0
+			filtD := MeasureOp(defaultMeasure, func() {
+				page, err := db.Query(ctx, imagedb.NewQuery(query),
+					imagedb.WithK(k), imagedb.Where(where))
+				if err != nil {
+					opErr = err
+					return
+				}
+				candidates = page.Total
+				Sink += len(page.Hits)
+			})
+			if opErr != nil {
+				return nil, fmt.Errorf("E10: %w", opErr)
+			}
+			t.AddRow(FmtInt(n), fmt.Sprintf("%d%%", sel), FmtInt(candidates),
+				FmtDur(baseD), FmtDur(filtD),
+				fmt.Sprintf("%.2fx", float64(baseD)/float64(max(int(filtD), 1))))
+		}
+	}
+	return t, nil
+}
+
 // Incremental reproduces experiment E8: incremental object insert/delete
 // on the coordinate-annotated BE-string versus a full reconversion.
 func Incremental(ns []int) (*Table, error) {

@@ -16,7 +16,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -330,78 +329,28 @@ func queryLabels(query core.Image) []string {
 // Search ranks the stored images against the query image, best first.
 // Ties break by id so results are deterministic: for a given (query, K,
 // MinScore) the ranking is byte-identical whatever the shard count or
-// Parallelism. Each worker accumulates into a private bounded top-K heap
-// (MinScore applied on admission); the per-worker champions are merged and
-// sorted at the end. The context cancels in-flight scoring.
+// Parallelism. The context cancels in-flight scoring.
+//
+// Deprecated: Search is the image-only special case of the composable
+// pipeline; it remains as a thin wrapper over DB.Query and returns
+// byte-identical results. New code should build a Query.
 func (db *DB) Search(ctx context.Context, query core.Image, opts SearchOptions) ([]Result, error) {
-	queryBE, err := core.Convert(query)
+	spec := &Query{
+		image:          &query,
+		whereMin:       -1,
+		scorer:         opts.Scorer,
+		k:              max(opts.K, 0), // the seed engine treated K < 0 as "all"
+		minScore:       opts.MinScore,
+		parallelism:    opts.Parallelism,
+		labelPrefilter: opts.LabelPrefilter,
+	}
+	page, err := db.execute(ctx, spec)
 	if err != nil {
 		return nil, fmt.Errorf("search: %w", err)
 	}
-	scorer := opts.Scorer
-	if scorer == nil {
-		scorer = BEScorer()
+	out := make([]Result, len(page.Hits))
+	for i, h := range page.Hits {
+		out[i] = Result{ID: h.ID, Name: h.Name, Score: h.Score}
 	}
-	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	// Snapshot the store point-in-time; scoring happens outside the locks.
-	var labels []string
-	if opts.LabelPrefilter {
-		labels = queryLabels(query)
-	}
-	snapshot := db.snapshot(labels, opts.LabelPrefilter)
-	if len(snapshot) == 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("search: %w", err)
-		}
-		return []Result{}, nil
-	}
-	if workers > len(snapshot) {
-		workers = len(snapshot)
-	}
-	// K is client-controlled; clamp to the corpus so heap preallocation
-	// cannot be driven past the snapshot size (same results either way).
-	k := opts.K
-	if k > len(snapshot) {
-		k = len(snapshot)
-	}
-
-	heaps := make([]*topK, workers)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		h := newTopK(k)
-		heaps[w] = h
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				st := snapshot[i]
-				score := scorer(query, queryBE, st.Entry)
-				if score < opts.MinScore {
-					continue
-				}
-				h.add(Result{ID: st.ID, Name: st.Name, Score: score})
-			}
-		}()
-	}
-	var cancelled error
-feed:
-	for i := range snapshot {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			cancelled = ctx.Err()
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if cancelled != nil {
-		return nil, fmt.Errorf("search: %w", cancelled)
-	}
-	return mergeTopK(heaps, k), nil
+	return out, nil
 }

@@ -1,0 +1,343 @@
+package imagedb
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"runtime"
+	"strings"
+	"sync"
+
+	"bestring/internal/core"
+)
+
+// Hit is one result of a composed query.
+type Hit struct {
+	ID    string  `json:"id"`
+	Name  string  `json:"name,omitempty"`
+	Score float64 `json:"score"`
+	// Where is the satisfied fraction of the spatial-predicate filter;
+	// present only when the query has a Where clause.
+	Where float64 `json:"where,omitempty"`
+	// Full reports that every Where clause held.
+	Full bool `json:"full,omitempty"`
+}
+
+// Page is one page of query results.
+type Page struct {
+	Hits []Hit `json:"hits"`
+	// Total counts the results matching the query — after filters,
+	// MinScore and the cursor, before K/Offset truncation.
+	Total int `json:"total"`
+	// NextCursor resumes the ranking after the last hit of this page;
+	// empty when the ranking is exhausted.
+	NextCursor string `json:"nextCursor,omitempty"`
+}
+
+// candidate is one image that survived the narrowing stages, with its
+// spatial-predicate evaluation when the query has a Where clause.
+type candidate struct {
+	st    *stored
+	where float64
+	full  bool
+}
+
+// Query executes a composed retrieval request against the store. The
+// candidate set flows through staged narrowers, cheapest first —
+// inverted label index, R-tree region probe, spatial-predicate
+// evaluation — and only the survivors reach the ranked top-K scoring
+// the engine runs for plain similarity search. Extra options apply to a
+// copy, so the Query value can be reused. The ranking is deterministic:
+// score descending, id ascending on ties, whatever the shard count or
+// parallelism.
+func (db *DB) Query(ctx context.Context, q *Query, opts ...QueryOption) (*Page, error) {
+	page, err := db.execute(ctx, q.clone().apply(opts))
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	return page, nil
+}
+
+// iterBatch is the page size QueryIter fetches per cursor step.
+const iterBatch = 256
+
+// QueryIter streams the query's results in ranking order. It pages
+// through the store with cursors (batches of iterBatch), so memory
+// stays O(batch) even when the ranking is unbounded; WithK caps the
+// total results yielded. Each batch snapshots the store point-in-time;
+// across batch boundaries the cursor guarantees already-yielded results
+// never reappear, but entries inserted mid-iteration may be picked up
+// by later batches if they rank past the cursor. On error the sequence
+// yields a zero Hit with the error and stops.
+func (db *DB) QueryIter(ctx context.Context, q *Query, opts ...QueryOption) iter.Seq2[Hit, error] {
+	spec := q.clone().apply(opts)
+	return func(yield func(Hit, error) bool) {
+		s := spec.clone()
+		unlimited := s.k == 0
+		remaining := s.k
+		for {
+			step := s.clone()
+			step.k = iterBatch
+			if !unlimited && remaining < step.k {
+				step.k = remaining
+			}
+			p, err := db.execute(ctx, step)
+			if err != nil {
+				yield(Hit{}, fmt.Errorf("query: %w", err))
+				return
+			}
+			for _, h := range p.Hits {
+				if !yield(h, nil) {
+					return
+				}
+			}
+			if !unlimited {
+				if remaining -= len(p.Hits); remaining <= 0 {
+					return
+				}
+			}
+			if p.NextCursor == "" {
+				return
+			}
+			s.cursor, s.offset = p.NextCursor, 0
+		}
+	}
+}
+
+// execute runs the staged pipeline. Errors are returned unprefixed; the
+// public entry points (Query, Search, SearchDSL) add their own context.
+func (db *DB) execute(ctx context.Context, q *Query) (*Page, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	if q.image == nil && q.dsl == nil && q.region == nil {
+		return nil, fmt.Errorf("empty query: need an image, a where clause or a region")
+	}
+
+	// Resolve the scorer up front so an unknown name fails fast even if
+	// no candidate survives the filters.
+	scorer := q.scorer
+	if scorer == nil && (q.image != nil || q.scorerName != "") {
+		s, ok := LookupScorer(q.scorerName)
+		if !ok {
+			return nil, fmt.Errorf("unknown scorer %q (registered: %s)",
+				q.scorerName, strings.Join(ScorerNames(), ", "))
+		}
+		scorer = s
+	}
+
+	var img core.Image
+	var queryBE core.BEString
+	if q.image != nil {
+		img = *q.image
+		var err error
+		if queryBE, err = core.Convert(img); err != nil {
+			return nil, err
+		}
+	}
+
+	var cur *cursorPos
+	if q.cursor != "" {
+		c, err := decodeCursor(q.cursor)
+		if err != nil {
+			return nil, err
+		}
+		cur = &c
+	}
+
+	// Stage 1 — inverted label index. A Where clause narrows to images
+	// containing at least one of its labels (an image satisfying any
+	// clause must), otherwise an explicit LabelPrefilter narrows to
+	// images sharing an icon label with the query image.
+	var labels []string
+	prefilter := false
+	switch {
+	case q.dsl != nil:
+		for label := range q.dsl.Labels() {
+			labels = append(labels, label)
+		}
+		prefilter = true
+	case q.image != nil && q.labelPrefilter:
+		labels = queryLabels(img)
+		prefilter = true
+	}
+	snapshot := db.snapshot(labels, prefilter)
+
+	// Stage 2 — R-tree region probe: keep images with an icon in the
+	// region before any per-image work.
+	if q.region != nil {
+		ids := db.regionIDSet(*q.region, q.regionLabel)
+		kept := snapshot[:0]
+		for _, st := range snapshot {
+			if ids[st.ID] {
+				kept = append(kept, st)
+			}
+		}
+		snapshot = kept
+	}
+
+	// Stage 3 — spatial-predicate evaluation. With a ranked component
+	// the clause is a filter (default: every constraint must hold);
+	// without one the satisfied fraction becomes the ranking score.
+	cands := make([]candidate, 0, len(snapshot))
+	var whereByID map[string]candidate
+	if q.dsl != nil {
+		min := q.whereMin
+		if min < 0 {
+			if q.image != nil {
+				min = 1
+			} else {
+				min = 0 // any positive fraction, the SearchDSL contract
+			}
+		}
+		whereByID = make(map[string]candidate, len(snapshot))
+		for i, st := range snapshot {
+			if i&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			frac, full := q.dsl.Eval(st.Image)
+			if frac <= 0 || frac < min {
+				continue
+			}
+			c := candidate{st: st, where: frac, full: full}
+			cands = append(cands, c)
+			whereByID[st.ID] = c
+		}
+		// Stage 1 narrowed on the clause's labels; an explicit
+		// LabelPrefilter additionally requires sharing an icon label
+		// with the query image.
+		if q.image != nil && q.labelPrefilter {
+			qset := make(map[string]bool)
+			for _, l := range queryLabels(img) {
+				qset[l] = true
+			}
+			kept := cands[:0]
+			for _, c := range cands {
+				for _, o := range c.st.Image.Objects {
+					if qset[o.Label] {
+						kept = append(kept, c)
+						break
+					}
+				}
+			}
+			cands = kept
+		}
+	} else {
+		for _, st := range snapshot {
+			cands = append(cands, candidate{st: st})
+		}
+	}
+
+	if len(cands) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return &Page{Hits: []Hit{}}, nil
+	}
+
+	// Stage 4 — ranked scoring over the survivors, on the same bounded
+	// top-K heap machinery as plain Search. The ranking score is the
+	// scorer when the query has an image, the satisfied fraction when
+	// spatial satisfaction itself is the ranking, and 0 for region-only
+	// queries (ties break by id, so those list in id order).
+	rank := func(c candidate) float64 {
+		switch {
+		case q.image != nil:
+			return scorer(img, queryBE, c.st.Entry)
+		case q.dsl != nil:
+			return c.where
+		default:
+			return 0
+		}
+	}
+
+	workers := q.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	// Heap capacity covers the page plus the offset it skips, clamped to
+	// the candidate count so a client cannot drive preallocation.
+	heapK := 0
+	if q.k > 0 {
+		heapK = q.k + q.offset
+		if heapK > len(cands) {
+			heapK = len(cands)
+		}
+	}
+
+	heaps := make([]*topK, workers)
+	counts := make([]int, workers)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		h := newTopK(heapK)
+		heaps[w] = h
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range jobs {
+				c := cands[i]
+				r := Result{ID: c.st.ID, Name: c.st.Name, Score: rank(c)}
+				if r.Score < q.minScore {
+					continue
+				}
+				if cur != nil && !worse(r, Result{ID: cur.ID, Score: cur.Score}) {
+					continue
+				}
+				counts[w]++
+				h.add(r)
+			}
+		}(w)
+	}
+	var cancelled error
+feed:
+	for i := range cands {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			cancelled = ctx.Err()
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if cancelled != nil {
+		return nil, cancelled
+	}
+
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	ranked := mergeTopK(heaps, heapK)
+
+	// Pagination: drop the offset, truncate to the page.
+	if q.offset >= len(ranked) {
+		ranked = ranked[:0]
+	} else {
+		ranked = ranked[q.offset:]
+	}
+	if q.k > 0 && len(ranked) > q.k {
+		ranked = ranked[:q.k]
+	}
+
+	page := &Page{Hits: make([]Hit, len(ranked)), Total: total}
+	for i, r := range ranked {
+		h := Hit{ID: r.ID, Name: r.Name, Score: r.Score}
+		if q.dsl != nil {
+			if c, ok := whereByID[r.ID]; ok {
+				h.Where, h.Full = c.where, c.full
+			}
+		}
+		page.Hits[i] = h
+	}
+	if q.k > 0 && len(page.Hits) == q.k && total > q.offset+q.k {
+		page.NextCursor = encodeCursor(ranked[len(ranked)-1])
+	}
+	return page, nil
+}

@@ -1,0 +1,569 @@
+package imagedb
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"bestring/internal/core"
+	"bestring/internal/query"
+	"bestring/internal/workload"
+)
+
+// composedSpec parameterises the serial reference below.
+type composedSpec struct {
+	image       *core.Image
+	dsl         string
+	whereMin    float64 // <0 means pipeline default
+	region      *core.Rect
+	regionLabel string
+	scorer      Scorer
+	minScore    float64
+	k, offset   int
+}
+
+// referenceComposed is the filter-then-full-sort reference: apply every
+// filter serially per image, score everything that survives, sort
+// everything, then paginate. The pipeline must match it byte for byte.
+func referenceComposed(t *testing.T, db *DB, spec composedSpec) []Hit {
+	t.Helper()
+	var dq query.Query
+	if spec.dsl != "" {
+		var err error
+		if dq, err = query.Parse(spec.dsl); err != nil {
+			t.Fatalf("parse %q: %v", spec.dsl, err)
+		}
+	}
+	whereMin := spec.whereMin
+	if whereMin < 0 {
+		if spec.image != nil {
+			whereMin = 1
+		} else {
+			whereMin = 0
+		}
+	}
+	scorer := spec.scorer
+	if scorer == nil {
+		scorer = BEScorer()
+	}
+	var queryBE core.BEString
+	if spec.image != nil {
+		queryBE = core.MustConvert(*spec.image)
+	}
+	var all []Hit
+	for _, id := range db.IDs() {
+		e, _ := db.Get(id)
+		if spec.region != nil {
+			found := false
+			for _, o := range e.Image.Objects {
+				if o.Box.Intersects(*spec.region) &&
+					(spec.regionLabel == "" || o.Label == spec.regionLabel) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		h := Hit{ID: e.ID, Name: e.Name}
+		if spec.dsl != "" {
+			frac, full := dq.Eval(e.Image)
+			if frac <= 0 || frac < whereMin {
+				continue
+			}
+			h.Where, h.Full = frac, full
+		}
+		switch {
+		case spec.image != nil:
+			h.Score = scorer(*spec.image, queryBE, e)
+		case spec.dsl != "":
+			h.Score = h.Where
+		}
+		if h.Score < spec.minScore {
+			continue
+		}
+		all = append(all, h)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].ID < all[j].ID
+	})
+	if spec.offset >= len(all) {
+		all = all[:0]
+	} else {
+		all = all[spec.offset:]
+	}
+	if spec.k > 0 && len(all) > spec.k {
+		all = all[:spec.k]
+	}
+	return all
+}
+
+// seedSpatial builds a deterministic corpus where filters have known
+// selectivity: every image gets random icons, every third image gets a
+// "tag left-of anchor" pair (satisfying the DSL below), and every fourth
+// gets an icon inside the probe region.
+func seedSpatial(t *testing.T, shards, n int) *DB {
+	t.Helper()
+	db := NewSharded(shards)
+	g := workload.NewGenerator(workload.Config{Seed: 17, Vocabulary: 12, Width: 64, Height: 64})
+	for i := 0; i < n; i++ {
+		img := g.Scene()
+		if i%3 == 0 {
+			img = img.WithObject(core.Object{Label: "tag", Box: core.NewRect(1, 1, 3, 3)}).
+				WithObject(core.Object{Label: "anchor", Box: core.NewRect(10, 1, 12, 3)})
+		}
+		if i%4 == 0 {
+			img = img.WithObject(core.Object{Label: "probe", Box: core.NewRect(50, 50, 55, 55)})
+		}
+		if err := db.Insert(fmt.Sprintf("img%03d", i), fmt.Sprintf("scene %d", i), img); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	return db
+}
+
+var probeRegion = core.NewRect(48, 48, 60, 60)
+
+func hitsEqual(t *testing.T, label string, got, want []Hit) {
+	t.Helper()
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(want)
+	if !reflect.DeepEqual(got, want) || string(gj) != string(wj) {
+		t.Fatalf("%s:\n got %s\nwant %s", label, gj, wj)
+	}
+}
+
+// TestQueryMatchesComposedReference pins the filter-composition
+// guarantee: narrowing with indexes then scoring survivors must be
+// byte-identical to filtering serially and full-sorting, for every
+// combination of image, Where clause and region.
+func TestQueryMatchesComposedReference(t *testing.T) {
+	db := seedSpatial(t, 4, 60)
+	g := workload.NewGenerator(workload.Config{Seed: 18, Vocabulary: 12, Width: 64, Height: 64})
+	img := g.Scene()
+	const dsl = "tag left-of anchor"
+
+	cases := []struct {
+		name string
+		spec composedSpec
+		q    *Query
+		opts []QueryOption
+	}{
+		{"image-only", composedSpec{image: &img, k: 7, whereMin: -1},
+			NewQuery(img), []QueryOption{WithK(7)}},
+		{"image+dsl", composedSpec{image: &img, dsl: dsl, k: 10, whereMin: -1},
+			NewQuery(img), []QueryOption{WithK(10), Where(dsl)}},
+		{"image+region", composedSpec{image: &img, region: &probeRegion, k: 10, whereMin: -1},
+			NewQuery(img), []QueryOption{WithK(10), InRegion(probeRegion)}},
+		{"image+dsl+region", composedSpec{image: &img, dsl: dsl, region: &probeRegion, whereMin: -1},
+			NewQuery(img), []QueryOption{Where(dsl), InRegion(probeRegion)}},
+		{"image+dsl+region+k", composedSpec{image: &img, dsl: dsl, region: &probeRegion, k: 2, whereMin: -1},
+			NewQuery(img), []QueryOption{WithK(2), Where(dsl), InRegion(probeRegion)}},
+		{"image+dsl+minscore", composedSpec{image: &img, dsl: dsl, minScore: 0.3, whereMin: -1},
+			NewQuery(img), []QueryOption{Where(dsl), WithMinScore(0.3)}},
+		{"image+dsl+wheremin", composedSpec{image: &img, dsl: dsl + "; tag above anchor", whereMin: 0.5},
+			NewQuery(img), []QueryOption{Where(dsl + "; tag above anchor"), WithWhereMin(0.5)}},
+		{"dsl-only", composedSpec{dsl: dsl, whereMin: -1},
+			NewMatchQuery(), []QueryOption{Where(dsl)}},
+		{"region-only", composedSpec{region: &probeRegion, whereMin: -1},
+			NewMatchQuery(), []QueryOption{InRegion(probeRegion)}},
+		{"region-label", composedSpec{region: &probeRegion, regionLabel: "probe", whereMin: -1},
+			NewMatchQuery(), []QueryOption{InRegionLabel(probeRegion, "probe")}},
+		{"image+offset", composedSpec{image: &img, k: 5, offset: 8, whereMin: -1},
+			NewQuery(img), []QueryOption{WithK(5), WithOffset(8)}},
+		{"invariant-scorer", composedSpec{image: &img, scorer: InvariantScorer(nil), k: 6, whereMin: -1},
+			NewQuery(img), []QueryOption{WithK(6), WithScorer("invariant")}},
+	}
+	for _, tc := range cases {
+		for _, parallelism := range []int{0, 1, 3} {
+			opts := append([]QueryOption{WithParallelism(parallelism)}, tc.opts...)
+			page, err := db.Query(context.Background(), tc.q, opts...)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			want := referenceComposed(t, db, tc.spec)
+			if want == nil {
+				want = []Hit{}
+			}
+			hitsEqual(t, fmt.Sprintf("%s (parallelism %d)", tc.name, parallelism), page.Hits, want)
+		}
+	}
+}
+
+// TestDeprecatedWrappersByteIdentical pins the acceptance criterion:
+// Search, SearchDSL and SearchRegion are wrappers over the pipeline and
+// must produce byte-identical results to querying it directly.
+func TestDeprecatedWrappersByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	db := seedSpatial(t, 3, 45)
+	g := workload.NewGenerator(workload.Config{Seed: 19, Vocabulary: 12, Width: 64, Height: 64})
+	img := g.Scene()
+
+	for _, opts := range []SearchOptions{
+		{}, {K: 5}, {K: 5, MinScore: 0.4}, {K: 3, Parallelism: 2, LabelPrefilter: true},
+		{Scorer: InvariantScorer(nil), K: 4},
+	} {
+		old, err := db.Search(ctx, img, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qopts := []QueryOption{WithK(opts.K), WithMinScore(opts.MinScore),
+			WithParallelism(opts.Parallelism), WithLabelPrefilter(opts.LabelPrefilter)}
+		if opts.Scorer != nil {
+			qopts = append(qopts, WithScorerFunc(opts.Scorer))
+		}
+		page, err := db.Query(ctx, NewQuery(img), qopts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(old) != len(page.Hits) {
+			t.Fatalf("opts %+v: wrapper %d results, pipeline %d", opts, len(old), len(page.Hits))
+		}
+		for i, r := range old {
+			h := page.Hits[i]
+			if r != (Result{ID: h.ID, Name: h.Name, Score: h.Score}) {
+				t.Fatalf("opts %+v: result %d = %+v, hit %+v", opts, i, r, h)
+			}
+		}
+		oj, _ := json.Marshal(old)
+		rj, _ := json.Marshal(referenceSearch(db, img, opts))
+		if !opts.LabelPrefilter && string(oj) != string(rj) {
+			t.Fatalf("opts %+v: wrapper diverged from full-sort reference\n got %s\nwant %s", opts, oj, rj)
+		}
+	}
+
+	dq, err := query.Parse("tag left-of anchor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 3, 100} {
+		old, err := db.SearchDSL(ctx, dq, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		page, err := db.Query(ctx, NewMatchQuery(), WhereQuery(dq), WithK(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(old) != len(page.Hits) {
+			t.Fatalf("k=%d: wrapper %d results, pipeline %d", k, len(old), len(page.Hits))
+		}
+		for i, r := range old {
+			h := page.Hits[i]
+			if r != (QueryResult{ID: h.ID, Name: h.Name, Score: h.Score, Full: h.Full}) {
+				t.Fatalf("k=%d: result %d = %+v, hit %+v", k, i, r, h)
+			}
+		}
+	}
+
+	hits := db.SearchRegion(probeRegion, "probe")
+	page, err := db.Query(ctx, NewMatchQuery(), InRegionLabel(probeRegion, "probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[string]bool)
+	for _, h := range hits {
+		ids[h.ImageID] = true
+	}
+	if len(ids) != len(page.Hits) {
+		t.Fatalf("region wrapper found %d images, pipeline %d", len(ids), len(page.Hits))
+	}
+	for i, h := range page.Hits {
+		if !ids[h.ID] {
+			t.Fatalf("pipeline hit %q not in wrapper results", h.ID)
+		}
+		if i > 0 && page.Hits[i-1].ID >= h.ID {
+			t.Fatalf("region-only hits not in id order: %v", page.Hits)
+		}
+	}
+}
+
+// TestQueryCursorPagination walks the full ranking page by page and
+// checks the concatenation equals the one-shot ranking, with Total
+// constant and the cursor chain terminating.
+func TestQueryCursorPagination(t *testing.T) {
+	ctx := context.Background()
+	db := seedSpatial(t, 4, 37)
+	g := workload.NewGenerator(workload.Config{Seed: 20, Vocabulary: 12, Width: 64, Height: 64})
+	img := g.Scene()
+	q := NewQuery(img)
+
+	full, err := db.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Total != 37 || len(full.Hits) != 37 || full.NextCursor != "" {
+		t.Fatalf("full page: total %d, %d hits, cursor %q", full.Total, len(full.Hits), full.NextCursor)
+	}
+
+	var walked []Hit
+	cursor := ""
+	pages := 0
+	for {
+		page, err := db.Query(ctx, q, WithK(5), WithCursor(cursor))
+		if err != nil {
+			t.Fatal(err)
+		}
+		walked = append(walked, page.Hits...)
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+		if pages > 20 {
+			t.Fatal("cursor chain does not terminate")
+		}
+	}
+	if pages != 8 { // ceil(37/5)
+		t.Errorf("walked %d pages, want 8", pages)
+	}
+	hitsEqual(t, "cursor walk", walked, full.Hits)
+
+	// Offset pagination slices the same ranking.
+	page, err := db.Query(ctx, q, WithK(10), WithOffset(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsEqual(t, "offset page", page.Hits, full.Hits[30:])
+	if page.Total != 37 {
+		t.Errorf("offset page total = %d, want 37", page.Total)
+	}
+	// Offset past the end is an empty page, not an error.
+	page, err = db.Query(ctx, q, WithK(10), WithOffset(99))
+	if err != nil || len(page.Hits) != 0 || page.NextCursor != "" {
+		t.Errorf("offset past end: %v, %+v", err, page)
+	}
+}
+
+// TestQueryCursorStableUnderInserts pins the pagination-stability
+// contract: entries inserted between pages never cause already-delivered
+// results to reappear, and the next page still delivers exactly the
+// pre-existing ranking tail.
+func TestQueryCursorStableUnderInserts(t *testing.T) {
+	ctx := context.Background()
+	db := seedSpatial(t, 4, 24)
+	g := workload.NewGenerator(workload.Config{Seed: 21, Vocabulary: 12, Width: 64, Height: 64})
+	img := g.Scene()
+	q := NewQuery(img)
+
+	before, err := db.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page1, err := db.Query(ctx, q, WithK(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page1.Hits) != 6 || page1.NextCursor == "" {
+		t.Fatalf("page1 = %+v", page1)
+	}
+
+	// Concurrent writers land entries that would rank first (exact
+	// copies of the query image, score 1.0).
+	for i := 0; i < 3; i++ {
+		if err := db.Insert(fmt.Sprintf("interloper%d", i), "", img); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	page2, err := db.Query(ctx, q, WithK(6), WithCursor(page1.NextCursor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, h := range page1.Hits {
+		seen[h.ID] = true
+	}
+	for _, h := range page2.Hits {
+		if seen[h.ID] {
+			t.Fatalf("page2 repeats %q", h.ID)
+		}
+		if strings.HasPrefix(h.ID, "interloper") {
+			t.Fatalf("page2 contains post-cursor insert %q ranking before the boundary", h.ID)
+		}
+	}
+	hitsEqual(t, "page2 is the pre-insert tail", page2.Hits, before.Hits[6:12])
+}
+
+// TestQueryIterStreamsRanking checks the iterator yields exactly the
+// one-shot ranking (across internal batch boundaries), honours WithK,
+// and stops on early break.
+func TestQueryIterStreamsRanking(t *testing.T) {
+	ctx := context.Background()
+	// More entries than one internal batch to cross a cursor boundary.
+	db := seedSpatial(t, 4, 300)
+	g := workload.NewGenerator(workload.Config{Seed: 22, Vocabulary: 12, Width: 64, Height: 64})
+	img := g.Scene()
+	q := NewQuery(img)
+
+	full, err := db.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Hit
+	for h, err := range db.QueryIter(ctx, q) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, h)
+	}
+	hitsEqual(t, "streamed ranking", streamed, full.Hits)
+
+	// WithK caps the stream.
+	n := 0
+	for _, err := range db.QueryIter(ctx, q, WithK(7)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 7 {
+		t.Errorf("WithK(7) streamed %d hits", n)
+	}
+
+	// Early break stops cleanly.
+	n = 0
+	for _, err := range db.QueryIter(ctx, q) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n++; n == 3 {
+			break
+		}
+	}
+	if n != 3 {
+		t.Errorf("early break streamed %d hits", n)
+	}
+
+	// Errors surface through the sequence.
+	for _, err := range db.QueryIter(ctx, NewMatchQuery(), Where("not a clause !!")) {
+		if err == nil {
+			t.Fatal("iterator yielded a hit for an invalid query")
+		}
+	}
+}
+
+// TestQueryValidation exercises the builder's sticky errors and the
+// pipeline's input validation.
+func TestQueryValidation(t *testing.T) {
+	ctx := context.Background()
+	db := seedSpatial(t, 2, 5)
+	g := workload.NewGenerator(workload.Config{Seed: 23, Vocabulary: 12, Width: 64, Height: 64})
+	img := g.Scene()
+
+	cases := []struct {
+		name string
+		q    *Query
+		opts []QueryOption
+		want string
+	}{
+		{"empty", NewMatchQuery(), nil, "empty query"},
+		{"bad where", NewQuery(img), []QueryOption{Where("one two three")}, "unknown predicate"},
+		{"negative k", NewQuery(img), []QueryOption{WithK(-1)}, "negative k"},
+		{"negative offset", NewQuery(img), []QueryOption{WithOffset(-2)}, "negative offset"},
+		{"negative parallelism", NewQuery(img), []QueryOption{WithParallelism(-1)}, "negative parallelism"},
+		{"unknown scorer", NewQuery(img), []QueryOption{WithScorer("cosine")}, "unknown scorer"},
+		{"bad cursor", NewQuery(img), []QueryOption{WithCursor("!!!")}, "bad cursor"},
+		{"bad wheremin", NewQuery(img), []QueryOption{Where("A left-of B"), WithWhereMin(1.5)}, "where-min"},
+		{"bad region", NewQuery(img), []QueryOption{InRegion(core.Rect{X0: 5, X1: 1, Y0: 0, Y1: 1})}, "invalid region"},
+	}
+	for _, tc := range cases {
+		if _, err := db.Query(ctx, tc.q, tc.opts...); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+
+	// The sticky error is also visible on the builder itself.
+	q := NewQuery(img)
+	q.apply([]QueryOption{Where("bogus")})
+	if q.Err() == nil {
+		t.Error("sticky builder error not exposed via Err")
+	}
+
+	// A reused Query value is not mutated by per-call options.
+	base := NewQuery(img)
+	if _, err := db.Query(ctx, base, WithK(2)); err != nil {
+		t.Fatal(err)
+	}
+	page, err := db.Query(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Hits) != 5 {
+		t.Errorf("reused query returned %d hits, want all 5 (WithK leaked into the base value)", len(page.Hits))
+	}
+}
+
+// TestQueryCancelled checks the pipeline surfaces context cancellation
+// from both the predicate-evaluation and the scoring stage.
+func TestQueryCancelled(t *testing.T) {
+	db := seedSpatial(t, 2, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Query(ctx, NewMatchQuery(), Where("tag left-of anchor")); !errors.Is(err, context.Canceled) {
+		t.Errorf("dsl stage err = %v, want context.Canceled", err)
+	}
+}
+
+func TestScorerRegistry(t *testing.T) {
+	for _, name := range []string{"be", "invariant", "type0", "type1", "type2", "symbols"} {
+		if _, ok := LookupScorer(name); !ok {
+			t.Errorf("builtin scorer %q not registered", name)
+		}
+	}
+	if _, ok := LookupScorer(""); !ok {
+		t.Error("empty name does not resolve to the default scorer")
+	}
+	if _, ok := LookupScorer("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+	if err := RegisterScorer("be", BEScorer()); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := RegisterScorer("", BEScorer()); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := RegisterScorer("nil-test", nil); err == nil {
+		t.Error("nil scorer accepted")
+	}
+
+	// A custom scorer is usable by name end to end.
+	constant := func(_ core.Image, _ core.BEString, _ Entry) float64 { return 0.25 }
+	if err := RegisterScorer("registry-test-constant", constant); err != nil {
+		t.Fatal(err)
+	}
+	db := seedSpatial(t, 1, 4)
+	g := workload.NewGenerator(workload.Config{Seed: 25, Vocabulary: 12, Width: 64, Height: 64})
+	page, err := db.Query(context.Background(), NewQuery(g.Scene()), WithScorer("registry-test-constant"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range page.Hits {
+		if h.Score != 0.25 {
+			t.Fatalf("custom scorer hit = %+v", h)
+		}
+	}
+
+	names := ScorerNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("ScorerNames not sorted: %v", names)
+	}
+	found := false
+	for _, n := range names {
+		if n == "registry-test-constant" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("registered name missing from %v", names)
+	}
+}

@@ -1,0 +1,80 @@
+package imagedb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bestring/internal/baseline/typesim"
+)
+
+// DefaultScorerName is the registry name resolved when a query names no
+// scorer: the paper's BE-LCS similarity.
+const DefaultScorerName = "be"
+
+// scorerRegistry maps scorer names to implementations, so every surface
+// (library, CLI, REST) resolves method strings through one table instead
+// of each re-implementing the switch.
+var scorerRegistry = struct {
+	mu sync.RWMutex
+	m  map[string]Scorer
+}{m: make(map[string]Scorer)}
+
+// RegisterScorer adds a named scorer to the registry. Names are
+// case-sensitive, must be non-empty and must not collide with a
+// registered name. The built-in names (be, invariant, type0, type1,
+// type2, symbols) are registered at package init.
+func RegisterScorer(name string, s Scorer) error {
+	if name == "" {
+		return fmt.Errorf("register scorer: empty name")
+	}
+	if s == nil {
+		return fmt.Errorf("register scorer %q: nil scorer", name)
+	}
+	scorerRegistry.mu.Lock()
+	defer scorerRegistry.mu.Unlock()
+	if _, exists := scorerRegistry.m[name]; exists {
+		return fmt.Errorf("register scorer %q: already registered", name)
+	}
+	scorerRegistry.m[name] = s
+	return nil
+}
+
+// LookupScorer resolves a registered scorer by name. The empty name
+// resolves to DefaultScorerName.
+func LookupScorer(name string) (Scorer, bool) {
+	if name == "" {
+		name = DefaultScorerName
+	}
+	scorerRegistry.mu.RLock()
+	defer scorerRegistry.mu.RUnlock()
+	s, ok := scorerRegistry.m[name]
+	return s, ok
+}
+
+// ScorerNames lists the registered scorer names, sorted.
+func ScorerNames() []string {
+	scorerRegistry.mu.RLock()
+	defer scorerRegistry.mu.RUnlock()
+	names := make([]string, 0, len(scorerRegistry.m))
+	for name := range scorerRegistry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	for name, s := range map[string]Scorer{
+		"be":        BEScorer(),
+		"invariant": InvariantScorer(nil),
+		"type0":     TypeSimScorer(typesim.Type0),
+		"type1":     TypeSimScorer(typesim.Type1),
+		"type2":     TypeSimScorer(typesim.Type2),
+		"symbols":   SymbolsOnlyScorer(),
+	} {
+		if err := RegisterScorer(name, s); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -16,14 +16,10 @@ type RegionHit struct {
 	Box     core.Rect `json:"box"`
 }
 
-// SearchRegion returns every stored icon whose MBR intersects the region,
-// optionally restricted to one label — the "by size and location"
-// indexing category of the paper's related work, answered by the R-tree.
-// Results are sorted by (image id, label).
-func (db *DB) SearchRegion(region core.Rect, label string) []RegionHit {
-	if !region.Valid() {
-		return nil
-	}
+// regionHits probes the R-tree for icons intersecting the region,
+// optionally restricted to one label, in arbitrary order. It is the
+// region stage shared by SearchRegion and the query pipeline.
+func (db *DB) regionHits(region core.Rect, label string) []RegionHit {
 	db.spatialMu.RLock()
 	items := db.spatial.SearchIntersect(region)
 	db.spatialMu.RUnlock()
@@ -36,6 +32,34 @@ func (db *DB) SearchRegion(region core.Rect, label string) []RegionHit {
 		}
 		out = append(out, RegionHit{ImageID: imageID, Label: l, Box: it.Box})
 	}
+	return out
+}
+
+// regionIDSet reduces the region probe to the set of image ids with at
+// least one matching icon — the candidate filter of the pipeline's
+// region stage.
+func (db *DB) regionIDSet(region core.Rect, label string) map[string]bool {
+	hits := db.regionHits(region, label)
+	ids := make(map[string]bool, len(hits))
+	for _, h := range hits {
+		ids[h.ImageID] = true
+	}
+	return ids
+}
+
+// SearchRegion returns every stored icon whose MBR intersects the region,
+// optionally restricted to one label — the "by size and location"
+// indexing category of the paper's related work, answered by the R-tree.
+// Results are sorted by (image id, label).
+//
+// Deprecated: SearchRegion is the icon-level view of the pipeline's
+// region stage; to retrieve images (rather than icons), build a Query
+// with InRegion, which composes with ranking and Where clauses.
+func (db *DB) SearchRegion(region core.Rect, label string) []RegionHit {
+	if !region.Valid() {
+		return nil
+	}
+	out := db.regionHits(region, label)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].ImageID != out[j].ImageID {
 			return out[i].ImageID < out[j].ImageID
@@ -58,35 +82,22 @@ type QueryResult struct {
 // images ranked by the satisfied fraction, best first; ties break by id.
 // The per-shard inverted label indexes prune images containing none of the
 // query's labels. k <= 0 returns all scoring images.
+//
+// Deprecated: SearchDSL is the Where-only special case of the composable
+// pipeline; it remains as a thin wrapper over DB.Query and returns
+// byte-identical results. New code should build a Query with WhereQuery.
 func (db *DB) SearchDSL(ctx context.Context, q query.Query, k int) ([]QueryResult, error) {
 	if len(q.Constraints) == 0 {
 		return nil, fmt.Errorf("search dsl: empty query")
 	}
-	labels := make([]string, 0, len(q.Labels()))
-	for label := range q.Labels() {
-		labels = append(labels, label)
+	spec := &Query{dsl: &q, whereMin: -1, k: max(k, 0)}
+	page, err := db.execute(ctx, spec)
+	if err != nil {
+		return nil, fmt.Errorf("search dsl: %w", err)
 	}
-	snapshot := db.snapshot(labels, true)
-
-	out := make([]QueryResult, 0, len(snapshot))
-	for _, st := range snapshot {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("search dsl: %w", err)
-		}
-		score, full := q.Eval(st.Image)
-		if score <= 0 {
-			continue
-		}
-		out = append(out, QueryResult{ID: st.ID, Name: st.Name, Score: score, Full: full})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ID < out[j].ID
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
+	out := make([]QueryResult, len(page.Hits))
+	for i, h := range page.Hits {
+		out[i] = QueryResult{ID: h.ID, Name: h.Name, Score: h.Score, Full: h.Full}
 	}
 	return out, nil
 }
