@@ -23,6 +23,7 @@ import (
 	"bestring/internal/retrieval"
 	"bestring/internal/rtree"
 	"bestring/internal/similarity"
+	"bestring/internal/wal"
 	"bestring/internal/workload"
 )
 
@@ -545,4 +546,32 @@ func BenchmarkQueryPipeline(b *testing.B) {
 	run("filter=where+region", imagedb.WithK(10),
 		imagedb.Where("tag10 left-of anchor10"),
 		imagedb.InRegionLabel(core.NewRect(59, 59, 63, 63), "probe"))
+}
+
+// BenchmarkWALAppend is the microbench behind experiment E11: framing and
+// appending one insert record to the write-ahead log under each fsync
+// policy. fsync=always is the per-acknowledgement durability price;
+// fsync=never isolates the encode+write cost. cmd/benchtab -exp e11
+// reports the same trade at the store level (with batching).
+func BenchmarkWALAppend(b *testing.B) {
+	img := scene(bench.DefaultSeed, 8)
+	for _, policy := range []wal.Policy{wal.SyncNever, wal.SyncAlways} {
+		b.Run("fsync="+policy.String(), func(b *testing.B) {
+			log, err := wal.Open(b.TempDir(), 1, wal.Options{Policy: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			rec := wal.Record{Op: wal.OpInsert, ID: "img000001", Image: &img}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lsn, _, err := log.Append(rec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += int(lsn)
+			}
+		})
+	}
 }

@@ -1,13 +1,14 @@
 // Command benchtab regenerates every evaluation artefact of the 2D
 // BE-string paper as text tables (or CSV series): experiments E1-E8 of
-// DESIGN.md, plus the engine experiments E9 (search scaling) and E10
+// DESIGN.md, plus the engine experiments E9 (search scaling), E10
 // (filtered-search scaling through the composable query pipeline; e7b
-// is the adversarial clique companion). Run with -exp all (default) or
-// a single experiment id.
+// is the adversarial clique companion) and E11 (durable-store write
+// throughput across fsync policy x batch size). Run with -exp all
+// (default) or a single experiment id.
 //
 // Usage:
 //
-//	benchtab [-exp e1|e2|...|e10|all] [-quick] [-csv]
+//	benchtab [-exp e1|e2|...|e11|all] [-quick] [-csv]
 package main
 
 import (
@@ -29,7 +30,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: e1..e10 or all")
+	exp := fs.String("exp", "all", "experiment to run: e1..e11 or all")
 	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	if err := fs.Parse(args); err != nil {
@@ -43,6 +44,7 @@ func run(args []string) error {
 	searchSizes := []int{1000, 4000, 10000}
 	filteredSizes := []int{1000, 10000, 100000}
 	selectivities := []int{1, 10, 100}
+	walBatches := []int{1, 16, 128}
 	qualityCfgs := bench.QualityConfigs(bench.DefaultSeed)
 	if *quick {
 		sweep = []int{4, 8}
@@ -51,6 +53,7 @@ func run(args []string) error {
 		scenesPerPoint = 3
 		searchSizes = []int{200, 500}
 		filteredSizes = []int{300, 1000}
+		walBatches = []int{1, 16}
 		qualityCfgs = qualityCfgs[:1]
 		qualityCfgs[0].Cfg = retrieval.WorkloadConfig{
 			Seed: bench.DefaultSeed, Distractors: 10, Relevant: 2, Queries: 2, Jitter: 2,
@@ -73,6 +76,7 @@ func run(args []string) error {
 		{"e8", func() (*bench.Table, error) { return bench.Incremental(sweep) }},
 		{"e9", func() (*bench.Table, error) { return bench.SearchScaling(searchSizes, 10) }},
 		{"e10", func() (*bench.Table, error) { return bench.FilteredSearch(filteredSizes, selectivities, 10) }},
+		{"e11", func() (*bench.Table, error) { return bench.WALThroughput(walBatches) }},
 	}
 
 	emit := func(t *bench.Table) error {
@@ -116,7 +120,7 @@ func run(args []string) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e10 or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e11 or all)", *exp)
 	}
 	return nil
 }

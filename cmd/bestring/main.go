@@ -13,6 +13,7 @@
 //	                   [-min-score 0.4]
 //	bestring transform -img scene.json -t rot90|rot180|rot270|flip-x|flip-y
 //	bestring mkdb      -out db.json [-count 50] [-seed 1] [-objects 8] [-vocab 24]
+//	bestring store     init|inspect|compact -data-dir DIR [flags]
 //	bestring render    -img scene.json -out scene.png
 //	bestring ascii     -img scene.json [-cols 60] [-rows 24]
 //
@@ -43,7 +44,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (convert, score, search, transform, mkdb, render, ascii)")
+		return fmt.Errorf("missing subcommand (convert, score, search, transform, mkdb, store, render, ascii)")
 	}
 	switch args[0] {
 	case "convert":
@@ -56,6 +57,8 @@ func run(args []string) error {
 		return cmdTransform(args[1:])
 	case "mkdb":
 		return cmdMkdb(args[1:])
+	case "store":
+		return cmdStore(args[1:])
 	case "render":
 		return cmdRender(args[1:])
 	case "ascii":

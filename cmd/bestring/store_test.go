@@ -1,0 +1,80 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bestring"
+)
+
+func TestStoreInitInspectCompact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	if err := run([]string{"store", "init", "-data-dir", dir, "-count", "12", "-seed", "3"}); err != nil {
+		t.Fatalf("store init: %v", err)
+	}
+	// Re-initialising a populated store is refused.
+	if err := run([]string{"store", "init", "-data-dir", dir, "-count", "5"}); err == nil {
+		t.Fatal("double init accepted")
+	}
+
+	// Mutate through the library so the WAL has records past the
+	// snapshot, then inspect and compact via the CLI.
+	s, err := bestring.OpenStore(dir, bestring.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("scene0003"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := bestring.InspectStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Replayable != 1 || ins.RecordOps["delete"] != 1 {
+		t.Fatalf("inspection=%+v", ins)
+	}
+	if err := run([]string{"store", "inspect", "-data-dir", dir}); err != nil {
+		t.Fatalf("store inspect: %v", err)
+	}
+	if err := run([]string{"store", "compact", "-data-dir", dir}); err != nil {
+		t.Fatalf("store compact: %v", err)
+	}
+	ins, err = bestring.InspectStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Replayable != 0 || len(ins.Snapshots) != 1 {
+		t.Fatalf("after compact: %+v", ins)
+	}
+
+	// The compacted store still opens with all acknowledged state.
+	s, err = bestring.OpenStore(dir, bestring.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 11 {
+		t.Fatalf("Len=%d, want 11", s.Len())
+	}
+}
+
+func TestStoreSubcommandErrors(t *testing.T) {
+	if err := run([]string{"store"}); err == nil {
+		t.Error("missing store subcommand accepted")
+	}
+	if err := run([]string{"store", "bogus"}); err == nil {
+		t.Error("unknown store subcommand accepted")
+	}
+	if err := run([]string{"store", "init"}); err == nil {
+		t.Error("missing -data-dir accepted")
+	}
+	if err := run([]string{"store", "inspect", "-data-dir", filepath.Join(t.TempDir(), "nope")}); err == nil {
+		t.Error("inspect of a missing directory accepted")
+	}
+	if err := run([]string{"store", "init", "-data-dir", t.TempDir(), "-fsync", "sometimes"}); err == nil {
+		t.Error("bad fsync policy accepted")
+	}
+}

@@ -23,13 +23,33 @@ const statusClientClosedRequest = 499
 // maxBatchQueries bounds one POST /api/v1/search batch.
 const maxBatchQueries = 64
 
+// engine is the database surface the REST API serves — satisfied by both
+// the in-memory *bestring.DB and the durable *bestring.Store, so the
+// same mux runs volatile or crash-safe depending only on the flags.
+type engine interface {
+	Insert(id, name string, img bestring.Image) error
+	Delete(id string) error
+	Get(id string) (bestring.Entry, bool)
+	IDs() []string
+	Len() int
+	Stats() bestring.DBStats
+	BulkInsert(ctx context.Context, items []bestring.BulkItem, parallelism int) error
+	Search(ctx context.Context, query bestring.Image, opts bestring.SearchOptions) ([]bestring.Result, error)
+	SearchDSL(ctx context.Context, q bestring.SpatialQuery, k int) ([]bestring.QueryResult, error)
+	SearchRegion(region bestring.Rect, label string) []bestring.RegionHit
+	Query(ctx context.Context, q *bestring.Query, opts ...bestring.QueryOption) (*bestring.QueryPage, error)
+}
+
 // newMux wires the REST routes onto a database. Resource routes are
 // served under both /api and /api/v1; the composable query endpoint
 // POST /api/v1/search supersedes the v0 trio (POST /api/search,
 // GET /api/search/dsl, GET /api/region), which stay as aliases of the
 // same pipeline.
-func newMux(db *bestring.DB) http.Handler {
-	api := &api{db: db}
+func newMux(e engine) http.Handler {
+	api := &api{db: e}
+	// A durable store additionally reports WAL/checkpoint state on
+	// /healthz, the signal an operator watches during recovery.
+	api.store, _ = e.(*bestring.Store)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", api.health)
 	for _, p := range []string{"/api", "/api/v1"} {
@@ -46,7 +66,8 @@ func newMux(db *bestring.DB) http.Handler {
 }
 
 type api struct {
-	db *bestring.DB
+	db    engine
+	store *bestring.Store // nil when serving an in-memory DB
 }
 
 // writeJSON emits a JSON response.
@@ -100,9 +121,21 @@ func queryStatus(err error) int {
 
 func (a *api) health(w http.ResponseWriter, _ *http.Request) {
 	stats := a.db.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok": true, "images": stats.Images, "shards": stats.Shards,
-	})
+	}
+	if a.store != nil {
+		ss := a.store.StoreStats()
+		body["durable"] = true
+		body["wal"] = ss.WAL
+		body["checkpoint"] = map[string]any{
+			"lsn":       ss.CheckpointLSN,
+			"lastLSN":   ss.LastLSN,
+			"completed": ss.Checkpoints,
+			"lastError": ss.CheckpointErr,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (a *api) listImages(w http.ResponseWriter, _ *http.Request) {

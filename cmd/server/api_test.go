@@ -574,3 +574,62 @@ func TestV1Aliases(t *testing.T) {
 		t.Errorf("v1 region status = %d", rec.Code)
 	}
 }
+
+// TestStoreBackedAPI runs the same mux over a durable store: mutations
+// travel through the WAL, /healthz exposes the durable stats, and a
+// reopened store serves what the API acknowledged.
+func TestStoreBackedAPI(t *testing.T) {
+	dir := t.TempDir()
+	s, err := bestring.OpenStore(dir, bestring.StoreOptions{Fsync: bestring.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := newMux(s)
+	img := map[string]any{
+		"xmax": 6, "ymax": 6,
+		"objects": []map[string]any{
+			{"label": "A", "box": map[string]int{"x0": 0, "y0": 0, "x1": 2, "y1": 2}},
+			{"label": "B", "box": map[string]int{"x0": 3, "y0": 3, "x1": 5, "y1": 5}},
+		},
+	}
+	if rec := do(t, mux, http.MethodPost, "/api/images", map[string]any{"id": "durable1", "image": img}); rec.Code != http.StatusCreated {
+		t.Fatalf("insert status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	// Duplicate still maps to 409 through the store.
+	if rec := do(t, mux, http.MethodPost, "/api/images", map[string]any{"id": "durable1", "image": img}); rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate status = %d", rec.Code)
+	}
+	rec := do(t, mux, http.MethodGet, "/healthz", nil)
+	var health struct {
+		OK      bool `json:"ok"`
+		Images  int  `json:"images"`
+		Durable bool `json:"durable"`
+		WAL     struct {
+			Segments int    `json:"segments"`
+			LastLSN  uint64 `json:"lastLSN"`
+			Fsync    string `json:"fsync"`
+		} `json:"wal"`
+	}
+	decode(t, rec, &health)
+	if !health.OK || !health.Durable || health.Images != 1 ||
+		health.WAL.LastLSN != 1 || health.WAL.Fsync != "always" {
+		t.Fatalf("health = %+v", health)
+	}
+	// The composable query endpoint works over the store.
+	if rec := do(t, mux, http.MethodPost, "/api/v1/search", map[string]any{"image": img, "k": 5}); rec.Code != http.StatusOK {
+		t.Fatalf("v1 search status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := bestring.OpenStore(dir, bestring.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec = do(t, newMux(s2), http.MethodGet, "/api/images/durable1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recovered get status = %d", rec.Code)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Endpoints (resource routes answer under both /api and /api/v1):
 //
-//	GET    /healthz                           liveness
+//	GET    /healthz                           liveness (+ WAL/checkpoint stats with -data-dir)
 //	GET    /api/images                        list stored ids
 //	POST   /api/images                        insert {"id","name","image"}
 //	GET    /api/images/{id}                   fetch one entry
@@ -20,47 +20,138 @@
 //
 // Usage:
 //
-//	server [-addr :8081] [-dbfile db.json] [-seed 0 -count 0] [-shards 0]
+//	server [-addr :8081] [-data-dir DIR [-fsync always|interval|never]
+//	       [-segment-bytes N]] [-dbfile db.json] [-seed 0 -count 0] [-shards 0]
 //
-// With -dbfile the database is loaded from (and saved back to) the file
-// on SIGINT; with -count a synthetic database is generated instead.
-// -shards partitions a synthetic or empty database (0 means GOMAXPROCS);
-// a database loaded from -dbfile keeps the default shard count.
+// With -data-dir the server runs on the durable store: every mutation is
+// written to the write-ahead log before it is acknowledged, and a restart
+// (or crash) recovers the state from the latest snapshot plus the log
+// tail. With -dbfile the database is loaded from the file and saved back
+// atomically on shutdown; with -count a synthetic database is generated
+// (seeded into the store when one is configured and empty). -shards
+// partitions a synthetic or empty database (0 means GOMAXPROCS); a
+// database recovered from a snapshot keeps the default shard count.
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests drain,
+// the WAL is flushed (or the -dbfile snapshot rewritten) and the process
+// exits 0 — the recovery smoke test in CI exercises exactly this path.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"bestring"
 )
 
 func main() {
-	fs := flag.NewFlagSet("server", flag.ContinueOnError)
-	addr := fs.String("addr", ":8081", "listen address")
-	dbfile := fs.String("dbfile", "", "database JSON file to serve (optional)")
-	count := fs.Int("count", 0, "generate a synthetic database of this size when no -dbfile")
-	seed := fs.Int64("seed", 1, "generator seed for -count")
-	shards := fs.Int("shards", 0, "shard count for a synthetic or empty database (0 = GOMAXPROCS)")
-	if err := fs.Parse(os.Args[1:]); err != nil {
-		os.Exit(2)
-	}
-
-	db, err := openDB(*dbfile, *count, *seed, *shards)
-	if err != nil {
-		log.Fatalf("server: %v", err)
-	}
-	log.Printf("serving %d images on %s", db.Len(), *addr)
-	if err := http.ListenAndServe(*addr, newMux(db)); err != nil {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
 		log.Fatalf("server: %v", err)
 	}
 }
 
-// openDB loads or synthesises the database per the flags.
+func run(args []string) error {
+	fs := flag.NewFlagSet("server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8081", "listen address")
+	dbfile := fs.String("dbfile", "", "database JSON file to serve (optional)")
+	dataDir := fs.String("data-dir", "", "durable store directory (WAL + snapshots); overrides -dbfile")
+	fsyncS := fs.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval or never")
+	segBytes := fs.Int64("segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 4 MiB)")
+	count := fs.Int("count", 0, "generate a synthetic database of this size when empty")
+	seed := fs.Int64("seed", 1, "generator seed for -count")
+	shards := fs.Int("shards", 0, "shard count for a synthetic or empty database (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir != "" && *dbfile != "" {
+		return fmt.Errorf("-data-dir and -dbfile are mutually exclusive")
+	}
+
+	var (
+		eng   engine
+		store *bestring.Store
+		db    *bestring.DB
+	)
+	if *dataDir != "" {
+		policy, err := bestring.ParseFsyncPolicy(*fsyncS)
+		if err != nil {
+			return err
+		}
+		s, err := bestring.OpenStore(*dataDir, bestring.StoreOptions{
+			Shards:       *shards,
+			Fsync:        policy,
+			SegmentBytes: *segBytes,
+		})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		if *count > 0 && s.Len() == 0 {
+			if err := seedSynthetic(s, *count, *seed); err != nil {
+				return err
+			}
+		}
+		store, eng = s, s
+		log.Printf("durable store %s: %d images, fsync=%s, lsn=%d",
+			*dataDir, s.Len(), policy, s.StoreStats().LastLSN)
+	} else {
+		d, err := openDB(*dbfile, *count, *seed, *shards)
+		if err != nil {
+			return err
+		}
+		db, eng = d, d
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newMux(eng)}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	log.Printf("serving %d images on %s", eng.Len(), *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if store != nil {
+		// The deferred Close also runs harmlessly; close now so a flush
+		// failure surfaces as a non-zero exit.
+		if err := store.Close(); err != nil {
+			return err
+		}
+	}
+	if db != nil && *dbfile != "" {
+		if err := db.SaveFile(*dbfile); err != nil {
+			return err
+		}
+		log.Printf("saved %d images to %s", db.Len(), *dbfile)
+	}
+	return nil
+}
+
+// openDB loads or synthesises the in-memory database per the flags.
 func openDB(dbfile string, count int, seed int64, shards int) (*bestring.DB, error) {
 	if dbfile != "" {
 		return bestring.LoadDBFile(dbfile)
@@ -69,15 +160,14 @@ func openDB(dbfile string, count int, seed int64, shards int) (*bestring.DB, err
 	if count <= 0 {
 		return db, nil
 	}
-	gen := bestring.NewSceneGenerator(bestring.SceneConfig{Seed: seed, Vocabulary: 24})
-	items := make([]bestring.BulkItem, count)
-	for i := range items {
-		items[i] = bestring.BulkItem{
-			ID: fmt.Sprintf("scene%04d", i), Name: "synthetic", Image: gen.Scene(),
-		}
-	}
-	if err := db.BulkInsert(context.Background(), items, 0); err != nil {
+	if err := seedSynthetic(db, count, seed); err != nil {
 		return nil, err
 	}
 	return db, nil
+}
+
+// seedSynthetic fills an empty engine with generated scenes.
+func seedSynthetic(eng engine, count int, seed int64) error {
+	cfg := bestring.SceneConfig{Seed: seed, Vocabulary: 24}
+	return bestring.SeedScenes(context.Background(), eng, cfg, count)
 }

@@ -32,6 +32,14 @@
 //	_ = db.Insert("scene-1", "beach", img)
 //	results, err := db.Search(ctx, query, bestring.SearchOptions{K: 10})
 //
+// For a database that survives restarts and crashes, open a durable
+// Store instead: the same query surface over a write-ahead log with
+// checkpointed snapshots (see DESIGN.md section 5):
+//
+//	store, err := bestring.OpenStore("./data", bestring.StoreOptions{})
+//	defer store.Close()
+//	_ = store.Insert("scene-1", "beach", img) // logged+fsynced, then applied
+//
 // The subpackages under internal/ additionally implement every comparator
 // of the paper (2-D string, 2D G-, C- and B-string with clique-based
 // type-0/1/2 matching) and the experiment harness that regenerates the

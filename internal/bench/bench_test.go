@@ -184,3 +184,21 @@ func TestFilteredSearchTable(t *testing.T) {
 		t.Error("selectivity not dividing 100 accepted")
 	}
 }
+
+func TestWALThroughputTable(t *testing.T) {
+	tab, err := WALThroughput([]int{1, 4})
+	if err != nil {
+		t.Fatalf("WALThroughput: %v", err)
+	}
+	if tab.ID != "E11" {
+		t.Errorf("ID = %q", tab.ID)
+	}
+	if len(tab.Rows) != 6 { // 3 policies x 2 batch sizes
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+	}
+}

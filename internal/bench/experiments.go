@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
 	"time"
 
 	"bestring/internal/baseline/bstring"
@@ -511,6 +512,89 @@ func Incremental(ns []int) (*Table, error) {
 		})
 		// insD and delD each time an insert+delete pair; halve for one op.
 		t.AddRow(FmtInt(n), FmtDur(insD/2), FmtDur(delD/2), FmtDur(rebD))
+	}
+	return t, nil
+}
+
+// WALThroughput is experiment E11 (the durability experiment, not from
+// the paper): acknowledged-write throughput of the durable store across
+// the fsync-policy x batch-size grid. Every point opens a fresh store in
+// a temp directory with automatic checkpointing disabled, so the numbers
+// isolate the WAL append path: fsync=always pays one fsync per
+// acknowledgement, interval amortises it over a 10ms window, never leaves
+// flushing to the OS. Batching amortises both the frame encode and the
+// fsync over the batch, which is why records/s climbs steeply with batch
+// size under fsync=always.
+func WALThroughput(batchSizes []int) (*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Caption: "durable store write throughput: fsync policy x batch size (auto-checkpoint off)",
+		Header:  []string{"fsync", "batch", "records/s", "us/record", "wal KB"},
+	}
+	ctx := context.Background()
+	gen := workload.NewGenerator(workload.Config{
+		Seed: DefaultSeed + 11, Vocabulary: 32, Objects: 8,
+	})
+	// One shared scene pool: the image payload is identical across
+	// points, so only the durability knobs move the numbers.
+	pool := gen.Dataset(64)
+	for _, policy := range []imagedb.FsyncPolicy{
+		imagedb.FsyncAlways, imagedb.FsyncInterval, imagedb.FsyncNever,
+	} {
+		for _, batch := range batchSizes {
+			dir, err := os.MkdirTemp("", "bestring-e11-*")
+			if err != nil {
+				return nil, fmt.Errorf("E11: %w", err)
+			}
+			s, err := imagedb.OpenStore(dir, imagedb.StoreOptions{
+				Fsync:           policy,
+				FsyncInterval:   10 * time.Millisecond,
+				CheckpointBytes: -1,
+			})
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("E11: %w", err)
+			}
+			next := 0
+			var opErr error
+			perBatch := MeasureOp(defaultMeasure, func() {
+				if batch == 1 {
+					id := fmt.Sprintf("img%08d", next)
+					next++
+					if err := s.Insert(id, "", pool[next%len(pool)]); err != nil {
+						opErr = err
+					}
+					return
+				}
+				items := make([]imagedb.BulkItem, batch)
+				for i := range items {
+					items[i] = imagedb.BulkItem{
+						ID: fmt.Sprintf("img%08d", next), Image: pool[next%len(pool)],
+					}
+					next++
+				}
+				if err := s.BulkInsert(ctx, items, 0); err != nil {
+					opErr = err
+				}
+			})
+			walKB := s.StoreStats().WAL.Bytes >> 10
+			closeErr := s.Close()
+			os.RemoveAll(dir)
+			if opErr != nil {
+				return nil, fmt.Errorf("E11: %w", opErr)
+			}
+			if closeErr != nil {
+				return nil, fmt.Errorf("E11: %w", closeErr)
+			}
+			perRecord := perBatch / time.Duration(batch)
+			recsPerSec := 0.0
+			if perRecord > 0 {
+				recsPerSec = float64(time.Second) / float64(perRecord)
+			}
+			t.AddRow(policy.String(), FmtInt(batch),
+				fmt.Sprintf("%.0f", recsPerSec), FmtDur(perRecord),
+				FmtInt(int(walKB)))
+		}
 	}
 	return t, nil
 }

@@ -1,0 +1,107 @@
+// Package fsutil holds the crash-safety file primitives shared by the
+// persistence layer and the write-ahead log: atomic whole-file replace
+// and directory-entry fsync.
+package fsutil
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+)
+
+// AtomicWriteFile replaces path with the bytes produced by write, so that
+// a crash at any instant leaves either the complete old file or the
+// complete new file — never a torn mix and never nothing. It writes a
+// temp file in the same directory (rename does not work across
+// filesystems), fsyncs it, renames it over path and fsyncs the directory
+// so the rename itself survives a crash. On failure the temp file is
+// removed and the original is untouched.
+func AtomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+tempMarker+"*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so recent entry changes (created, renamed or
+// removed files) are durable. Filesystems that cannot sync a directory
+// handle (EINVAL/ENOTSUP) are tolerated: there is nothing stronger to do.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}
+
+// tempMarker is the infix all AtomicWriteFile temp names carry; together
+// with the leading dot it identifies litter an interrupted write (crash
+// between CreateTemp and Rename) may have left behind.
+const tempMarker = ".tmp-"
+
+// SweepTemps removes leftover AtomicWriteFile temp files from dir. Call
+// it only while holding whatever lock excludes concurrent writers of the
+// directory — another process's in-flight temp file looks identical to
+// stale litter.
+func SweepTemps(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, ".") || !strings.Contains(name, tempMarker) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LockFile takes an exclusive, non-blocking advisory lock on path
+// (creating it if needed), guarding a directory against concurrent
+// writing processes. The lock lives as long as the returned file: Close
+// it to release. A held lock makes the second opener fail immediately
+// rather than interleave appends.
+func LockFile(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s is locked by another process: %w", path, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,143 @@
+package fsutil
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readDirNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+func TestAtomicWriteFileReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new content"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new content" {
+		t.Fatalf("content %q", got)
+	}
+	if names := readDirNames(t, dir); len(names) != 1 {
+		t.Fatalf("temp litter: %v", names)
+	}
+}
+
+// TestAtomicWriteFileCrashKeepsOriginal simulates a save that dies
+// mid-write: the previous good file must survive untouched and no temp
+// file may be left behind. (This is the guarantee a plain os.Create
+// rewrite cannot give: it truncates the good copy before the first byte
+// of the new one lands.)
+func TestAtomicWriteFileCrashKeepsOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.json")
+	if err := os.WriteFile(path, []byte("good snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk died")
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("half a snaps")); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good snapshot" {
+		t.Fatalf("original clobbered: %q", got)
+	}
+	if names := readDirNames(t, dir); len(names) != 1 || names[0] != "db.json" {
+		t.Fatalf("temp litter after failure: %v", names)
+	}
+}
+
+func TestAtomicWriteFileCreatesFresh(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.json")
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("x"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+func TestLockFileExcludes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "LOCK")
+	l1, err := LockFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LockFile(path); err == nil {
+		t.Fatal("second lock acquired while the first is held")
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := LockFile(path)
+	if err != nil {
+		t.Fatalf("lock not released by Close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestSweepTemps(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{".db.json.tmp-123", ".snapshot-01.json.tmp-x", "db.json", "wal-01.log", ".hidden"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := SweepTemps(dir); err != nil {
+		t.Fatal(err)
+	}
+	got := readDirNames(t, dir)
+	want := []string{".hidden", "db.json", "wal-01.log"}
+	if len(got) != len(want) {
+		t.Fatalf("left %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("left %v, want %v", got, want)
+		}
+	}
+}

@@ -30,16 +30,29 @@ func (db *DB) BulkInsert(ctx context.Context, items []BulkItem, parallelism int)
 	if len(items) == 0 {
 		return nil
 	}
+	sts, err := prepareBulk(ctx, items, parallelism)
+	if err != nil {
+		return err
+	}
+	return db.installBulk(sts)
+}
+
+// prepareBulk is the lock-free half of a bulk insert: id validation
+// (non-empty, unique within the batch), parallel conversion, and image
+// cloning. It returns the stored entries ready to install (sequence
+// numbers unassigned). The durable store calls it directly so a bulk
+// batch is fully validated before its WAL record is written.
+func prepareBulk(ctx context.Context, items []BulkItem, parallelism int) ([]*stored, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	seen := make(map[string]bool, len(items))
 	for i, it := range items {
 		if it.ID == "" {
-			return fmt.Errorf("bulk insert item %d: %w", i, ErrEmptyID)
+			return nil, fmt.Errorf("bulk insert item %d: %w", i, ErrEmptyID)
 		}
 		if seen[it.ID] {
-			return fmt.Errorf("bulk insert item %d (%q): %w", i, it.ID, ErrDuplicate)
+			return nil, fmt.Errorf("bulk insert item %d (%q): %w", i, it.ID, ErrDuplicate)
 		}
 		seen[it.ID] = true
 	}
@@ -70,16 +83,16 @@ feed:
 	close(jobs)
 	wg.Wait()
 	if cancelled != nil {
-		return fmt.Errorf("bulk insert: %w", cancelled)
+		return nil, fmt.Errorf("bulk insert: %w", cancelled)
 	}
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("bulk insert item %d (%q): %w", i, items[i].ID, err)
+			return nil, fmt.Errorf("bulk insert item %d (%q): %w", i, items[i].ID, err)
 		}
 	}
 
-	// Build the stored entries (including the image clones) before taking
-	// any lock; only map installs and index registration remain inside
+	// Build the stored entries (including the image clones) before any
+	// lock is taken; only map installs and index registration remain for
 	// the critical section.
 	sts := make([]*stored, len(items))
 	for i, it := range items {
@@ -87,14 +100,20 @@ feed:
 			Entry: Entry{ID: it.ID, Name: it.Name, Image: it.Image.Clone(), BE: converted[i]},
 		}
 	}
+	return sts, nil
+}
 
+// installBulk is the critical section of a bulk insert: with every shard
+// write lock held in ring order, it re-checks for id collisions and then
+// installs the whole batch or nothing.
+func (db *DB) installBulk(sts []*stored) error {
 	for _, sh := range db.shards {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 	}
-	for _, it := range items {
-		if _, exists := db.shardFor(it.ID).entries[it.ID]; exists {
-			return fmt.Errorf("bulk insert %q: %w", it.ID, ErrDuplicate)
+	for _, st := range sts {
+		if _, exists := db.shardFor(st.ID).entries[st.ID]; exists {
+			return fmt.Errorf("bulk insert %q: %w", st.ID, ErrDuplicate)
 		}
 	}
 	for _, st := range sts {

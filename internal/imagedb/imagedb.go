@@ -132,6 +132,13 @@ func (db *DB) Insert(id, name string, img core.Image) error {
 	if err != nil {
 		return fmt.Errorf("insert %q: %w", id, err)
 	}
+	return db.insertConverted(id, name, img, be)
+}
+
+// insertConverted installs an entry whose BE-string is already computed —
+// the tail of Insert, split out so the durable store (which converts once
+// during pre-log validation) does not pay conversion twice.
+func (db *DB) insertConverted(id, name string, img core.Image, be core.BEString) error {
 	sh := db.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -161,6 +168,16 @@ func (db *DB) Delete(id string) error {
 	db.unindexSpatial(&st.Entry)
 	delete(sh.entries, id)
 	return nil
+}
+
+// Has reports whether an image with the given id is stored — existence
+// without Get's deep copy of the entry.
+func (db *DB) Has(id string) bool {
+	sh := db.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.entries[id]
+	return ok
 }
 
 // Get returns a copy of the entry with the given id.
@@ -229,6 +246,30 @@ func (db *DB) updateImage(id string, fn func(core.Image) core.Image) error {
 	be, err := core.Convert(img)
 	if err != nil {
 		return fmt.Errorf("update %q: %w", id, err)
+	}
+	next := &stored{
+		Entry: Entry{ID: id, Name: st.Name, Image: img, BE: be},
+		seq:   st.seq,
+	}
+	sh.unindexLabels(&st.Entry)
+	sh.entries[id] = next
+	sh.indexLabels(&next.Entry)
+	db.reindexSpatial(&st.Entry, &next.Entry)
+	return nil
+}
+
+// replaceImage swaps the stored image of id for a pre-validated
+// (image, BE-string) pair, keeping the entry's insertion sequence. The
+// durable store uses it after logging an object mutation it has already
+// simulated and converted; direct callers should go through updateImage,
+// which recomputes under the shard lock.
+func (db *DB) replaceImage(id string, img core.Image, be core.BEString) error {
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.entries[id]
+	if !ok {
+		return fmt.Errorf("update %q: %w", id, ErrNotFound)
 	}
 	next := &stored{
 		Entry: Entry{ID: id, Name: st.Name, Image: img, BE: be},

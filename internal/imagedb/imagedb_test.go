@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -379,5 +380,56 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(path + ".missing"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestSaveGobFileRoundTrip(t *testing.T) {
+	db, _ := seedDB(t, 3)
+	path := t.TempDir() + "/db.gob"
+	if err := db.SaveGobFile(path); err != nil {
+		t.Fatalf("SaveGobFile: %v", err)
+	}
+	loaded, err := LoadGobFile(path)
+	if err != nil {
+		t.Fatalf("LoadGobFile: %v", err)
+	}
+	if loaded.Len() != 3 {
+		t.Errorf("loaded %d entries, want 3", loaded.Len())
+	}
+	if _, err := LoadGobFile(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestSaveFileOverwritesAtomically pins that a resave replaces the
+// previous snapshot in one rename — the temp file never lingers and the
+// target is always a complete snapshot (the crash half of the guarantee
+// is exercised in internal/fsutil).
+func TestSaveFileOverwritesAtomically(t *testing.T) {
+	db, _ := seedDB(t, 2)
+	dir := t.TempDir()
+	path := dir + "/db.json"
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("extra", "", storeImage(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp litter next to the snapshot: %v", entries)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 3 {
+		t.Errorf("resaved snapshot has %d entries, want 3", loaded.Len())
 	}
 }

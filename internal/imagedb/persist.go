@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"bestring/internal/fsutil"
 )
 
 // snapshotJSON is the on-disk format: a versioned list of entries.
@@ -19,7 +21,14 @@ const snapshotVersion = 1
 
 // Save writes the database as JSON. Entries appear in insertion order.
 func (db *DB) Save(w io.Writer) error {
-	snap := snapshotJSON{Version: snapshotVersion, Entries: db.orderedEntries()}
+	return saveEntries(w, db.orderedEntries())
+}
+
+// saveEntries writes a versioned JSON snapshot of the given entries —
+// the shared encoding behind DB.Save and the store's checkpointer (which
+// captures its entry list under the writer lock and encodes outside it).
+func saveEntries(w io.Writer, entries []Entry) error {
+	snap := snapshotJSON{Version: snapshotVersion, Entries: entries}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
@@ -87,18 +96,22 @@ func LoadGob(r io.Reader) (*DB, error) {
 	return db, nil
 }
 
-// SaveFile writes the database to a file path.
+// SaveFile writes the database to a file path atomically: the snapshot
+// is written to a temp file in the same directory, fsynced and renamed
+// over path, so a crash mid-save can never clobber the previous good
+// snapshot.
 func (db *DB) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := fsutil.AtomicWriteFile(path, db.Save); err != nil {
 		return fmt.Errorf("save image db: %w", err)
 	}
-	defer f.Close()
-	if err := db.Save(f); err != nil {
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("save image db: %w", err)
+	return nil
+}
+
+// SaveGobFile writes the database to a file path in the gob format, with
+// the same atomic-replace guarantee as SaveFile.
+func (db *DB) SaveGobFile(path string) error {
+	if err := fsutil.AtomicWriteFile(path, db.SaveGob); err != nil {
+		return fmt.Errorf("save image db (gob): %w", err)
 	}
 	return nil
 }
@@ -111,4 +124,14 @@ func LoadFile(path string) (*DB, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// LoadGobFile reads a database written by SaveGobFile.
+func LoadGobFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load image db (gob): %w", err)
+	}
+	defer f.Close()
+	return LoadGob(f)
 }

@@ -1,0 +1,576 @@
+package imagedb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bestring/internal/core"
+	"bestring/internal/fsutil"
+	"bestring/internal/query"
+	"bestring/internal/wal"
+)
+
+// FsyncPolicy selects when acknowledged mutations reach stable storage.
+type FsyncPolicy = wal.Policy
+
+// Fsync policies, re-exported from the WAL layer.
+const (
+	FsyncAlways   = wal.SyncAlways
+	FsyncInterval = wal.SyncInterval
+	FsyncNever    = wal.SyncNever
+)
+
+// ParseFsyncPolicy reads an fsync policy name ("always", "interval" or
+// "never") as accepted by the CLI and server flags.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParsePolicy(s) }
+
+// ErrStoreClosed is returned by mutations on a closed Store.
+var ErrStoreClosed = errors.New("store is closed")
+
+// Default store tuning.
+const (
+	DefaultCheckpointBytes = 16 << 20
+	snapshotPrefix         = "snapshot-"
+	snapshotSuffix         = ".json"
+)
+
+// StoreOptions tune OpenStore.
+type StoreOptions struct {
+	// Shards partitions the in-memory database when the store starts
+	// empty (0 means GOMAXPROCS); a store recovered from a snapshot keeps
+	// the default shard count. Shard count never affects results.
+	Shards int
+	// SegmentBytes rotates the WAL at this size (0 means 4 MiB).
+	SegmentBytes int64
+	// Fsync is the WAL durability policy (zero value: FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the flush cadence under the interval policy
+	// (0 means 100ms).
+	FsyncInterval time.Duration
+	// CheckpointBytes triggers a background checkpoint once this many WAL
+	// bytes accumulate since the last one (0 means 16 MiB; negative
+	// disables automatic checkpointing — Checkpoint can still be called).
+	CheckpointBytes int64
+}
+
+// Store is the durable image database: a DB whose every mutation is
+// framed into a segmented write-ahead log before it is applied, plus
+// checkpointed snapshots so recovery replays a bounded tail. OpenStore
+// recovers the state a crash left behind; Close flushes cleanly. The full
+// query/search surface of DB is exposed unchanged — reads never touch the
+// log — while mutations must go through the Store so no acknowledged
+// write can be lost (per the fsync policy). All methods are safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts StoreOptions
+	db   *DB
+	log  *wal.Log
+	// lock is the flock-ed LOCK file excluding other writing processes
+	// (a second OpenStore on the directory fails fast instead of
+	// interleaving WAL appends); released by Close.
+	lock *os.File
+
+	// mu serialises mutations: WAL append order must equal apply order,
+	// and pre-log validation must see the state the record will apply to.
+	mu         sync.Mutex
+	appliedLSN uint64
+	bytesSince int64 // WAL bytes since the last checkpoint capture
+	closed     bool
+
+	// cpMu serialises checkpoints (manual and background) against each
+	// other; they hold mu only while capturing the entry list.
+	cpMu          sync.Mutex
+	checkpointLSN atomic.Uint64
+	checkpoints   atomic.Uint64
+	checkpointing atomic.Bool
+	cpErr         atomic.Value // last background checkpoint error string
+	wg            sync.WaitGroup
+}
+
+// snapshotName formats the snapshot file covering records through lsn.
+func snapshotName(lsn uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapshotPrefix, lsn, snapshotSuffix)
+}
+
+// parseSnapshotName inverts snapshotName.
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(
+		strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotSuffix), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// listSnapshots returns snapshot file names in dir, newest (highest LSN)
+// first.
+func listSnapshots(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseSnapshotName(e.Name()); ok && !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names))) // zero-padded hex
+	return names, nil
+}
+
+// OpenStore opens (creating if necessary) the durable store in dataDir
+// and recovers its state: the newest snapshot that loads cleanly, plus a
+// replay of every WAL record with a newer LSN. A torn final record — a
+// crash mid-append — is truncated and tolerated; interior log corruption
+// or a snapshot/WAL gap aborts with a descriptive error rather than
+// serving a state the database never passed through.
+func OpenStore(dataDir string, opts StoreOptions) (*Store, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = wal.DefaultSegmentBytes
+	}
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = DefaultCheckpointBytes
+	}
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("open store: %w", err)
+	}
+	// One writing process per directory: a concurrent server + compactor
+	// would interleave WAL appends and prune under each other.
+	// (InspectStore stays lock-free: it is read-only by construction.)
+	lock, err := fsutil.LockFile(filepath.Join(dataDir, "LOCK"))
+	if err != nil {
+		return nil, fmt.Errorf("open store: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			lock.Close()
+		}
+	}()
+	// With the directory exclusively ours, leftover temp files can only
+	// be litter from an interrupted atomic write — sweep them.
+	if err := fsutil.SweepTemps(dataDir); err != nil {
+		return nil, fmt.Errorf("open store: %w", err)
+	}
+
+	// Latest valid snapshot wins; an unreadable newer one (e.g. disk
+	// damage) falls back to its predecessor, whose WAL tail then replays.
+	snaps, err := listSnapshots(dataDir)
+	if err != nil {
+		return nil, fmt.Errorf("open store: %w", err)
+	}
+	var db *DB
+	var snapLSN uint64
+	var loadErrs []error
+	for _, name := range snaps {
+		d, err := LoadFile(filepath.Join(dataDir, name))
+		if err != nil {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %w", name, err))
+			continue
+		}
+		db = d
+		snapLSN, _ = parseSnapshotName(name)
+		break
+	}
+	if db == nil {
+		if len(loadErrs) > 0 {
+			return nil, fmt.Errorf("open store: no loadable snapshot: %w", errors.Join(loadErrs...))
+		}
+		db = NewSharded(opts.Shards)
+	}
+
+	// Under SyncAlways every acknowledged frame was fsynced in order, so
+	// mid-file damage in the final segment is real corruption and replay
+	// must refuse. Under interval/never the unsynced tail can reach the
+	// disk out of order after a crash, so any bad frame there ends the
+	// log instead (the dropped records sit inside the policy's
+	// acknowledged-loss window). The decision follows the policy that
+	// WROTE the log (the wal's durable marker), not this open's options —
+	// reopening an always-written log with -fsync never must not turn
+	// bit rot into silent truncation of fsynced acknowledged records.
+	// Absent marker (no previous writer): strict, the refusing default.
+	tolerantTail := false
+	if p, ok := wal.WrittenPolicy(dataDir); ok {
+		tolerantTail = p != wal.SyncAlways
+	}
+	lastLSN, err := wal.Replay(dataDir, snapLSN, tolerantTail, func(rec wal.Record) error {
+		return applyRecord(db, rec)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("open store: %w", err)
+	}
+
+	log, err := wal.Open(dataDir, lastLSN+1, wal.Options{
+		SegmentBytes: opts.SegmentBytes,
+		Policy:       opts.Fsync,
+		Interval:     opts.FsyncInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("open store: %w", err)
+	}
+	s := &Store{dir: dataDir, opts: opts, db: db, log: log, lock: lock, appliedLSN: lastLSN}
+	s.checkpointLSN.Store(snapLSN)
+	ok = true
+	return s, nil
+}
+
+// applyRecord replays one WAL record into the database. Records are
+// validated against the then-current state before they are logged, so a
+// record that fails to apply means the log and the snapshot disagree —
+// replay surfaces that instead of guessing.
+func applyRecord(db *DB, rec wal.Record) error {
+	switch rec.Op {
+	case wal.OpInsert:
+		if rec.Image == nil {
+			return errors.New("record has no image")
+		}
+		return db.Insert(rec.ID, rec.Name, *rec.Image)
+	case wal.OpDelete:
+		return db.Delete(rec.ID)
+	case wal.OpInsertObject:
+		if rec.Object == nil {
+			return errors.New("record has no object")
+		}
+		return db.InsertObject(rec.ID, *rec.Object)
+	case wal.OpDeleteObject:
+		return db.DeleteObject(rec.ID, rec.Label)
+	case wal.OpBulk:
+		items := make([]BulkItem, len(rec.Items))
+		for i, it := range rec.Items {
+			items[i] = BulkItem{ID: it.ID, Name: it.Name, Image: it.Image}
+		}
+		return db.BulkInsert(context.Background(), items, 0)
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+}
+
+// append logs one record and accounts for it. Callers hold s.mu and have
+// validated that the subsequent apply cannot fail.
+func (s *Store) append(rec wal.Record) error {
+	lsn, n, err := s.log.Append(rec)
+	if err != nil {
+		return err
+	}
+	s.appliedLSN = lsn
+	s.bytesSince += int64(n)
+	if s.opts.CheckpointBytes > 0 && s.bytesSince >= s.opts.CheckpointBytes &&
+		s.checkpointing.CompareAndSwap(false, true) {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.checkpointing.Store(false)
+			if err := s.checkpoint(); err != nil && !errors.Is(err, ErrStoreClosed) {
+				s.cpErr.Store(err.Error())
+			}
+		}()
+	}
+	return nil
+}
+
+// Insert durably stores the image under id: the mutation is validated,
+// framed into the WAL (fsynced per policy) and only then applied.
+func (s *Store) Insert(id, name string, img core.Image) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	if id == "" {
+		return ErrEmptyID
+	}
+	if s.db.Has(id) {
+		return fmt.Errorf("insert %q: %w", id, ErrDuplicate)
+	}
+	be, err := core.Convert(img)
+	if err != nil {
+		return fmt.Errorf("insert %q: %w", id, err)
+	}
+	if err := s.append(wal.Record{Op: wal.OpInsert, ID: id, Name: name, Image: &img}); err != nil {
+		return err
+	}
+	return s.db.insertConverted(id, name, img, be)
+}
+
+// Delete durably removes the image with the given id.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	if !s.db.Has(id) {
+		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
+	}
+	if err := s.append(wal.Record{Op: wal.OpDelete, ID: id}); err != nil {
+		return err
+	}
+	return s.db.Delete(id)
+}
+
+// InsertObject durably adds an object to a stored image.
+func (s *Store) InsertObject(id string, o core.Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	e, ok := s.db.Get(id)
+	if !ok {
+		return fmt.Errorf("update %q: %w", id, ErrNotFound)
+	}
+	next := e.Image.WithObject(o)
+	be, err := core.Convert(next)
+	if err != nil {
+		return fmt.Errorf("update %q: %w", id, err)
+	}
+	if err := s.append(wal.Record{Op: wal.OpInsertObject, ID: id, Object: &o}); err != nil {
+		return err
+	}
+	return s.db.replaceImage(id, next, be)
+}
+
+// DeleteObject durably removes a labelled object from a stored image.
+func (s *Store) DeleteObject(id, label string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	e, ok := s.db.Get(id)
+	if !ok {
+		return fmt.Errorf("update %q: %w", id, ErrNotFound)
+	}
+	next, found := e.Image.WithoutObject(label)
+	if !found {
+		return fmt.Errorf("delete object %q from %q: %w", label, id, ErrNotFound)
+	}
+	be, err := core.Convert(next)
+	if err != nil {
+		return fmt.Errorf("update %q: %w", id, err)
+	}
+	if err := s.append(wal.Record{Op: wal.OpDeleteObject, ID: id, Label: label}); err != nil {
+		return err
+	}
+	return s.db.replaceImage(id, next, be)
+}
+
+// BulkInsert durably inserts a batch with the same all-or-nothing
+// contract as DB.BulkInsert: the whole batch is validated and converted
+// (in parallel, outside the writer lock) before a single WAL record is
+// written for it, so the log can never hold half a batch. The one-record
+// encoding bounds a batch to 64 MiB of encoded payload — split giant
+// loads into chunks (each chunk stays atomic).
+func (s *Store) BulkInsert(ctx context.Context, items []BulkItem, parallelism int) error {
+	if len(items) == 0 {
+		return nil
+	}
+	sts, err := prepareBulk(ctx, items, parallelism)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	for _, st := range sts {
+		if s.db.Has(st.ID) {
+			return fmt.Errorf("bulk insert %q: %w", st.ID, ErrDuplicate)
+		}
+	}
+	recItems := make([]wal.BulkItem, len(items))
+	for i, it := range items {
+		recItems[i] = wal.BulkItem{ID: it.ID, Name: it.Name, Image: it.Image}
+	}
+	if err := s.append(wal.Record{Op: wal.OpBulk, Items: recItems}); err != nil {
+		return fmt.Errorf("bulk insert (%d items): %w", len(items), err)
+	}
+	return s.db.installBulk(sts)
+}
+
+// Checkpoint writes a snapshot of the current state next to the log and
+// prunes WAL segments (and older snapshots) the snapshot has made
+// obsolete, bounding both recovery time and disk use. It blocks writers
+// only while the entry list is captured and the log rotated; encoding and
+// the file writes happen outside the writer lock.
+func (s *Store) Checkpoint() error { return s.checkpoint() }
+
+func (s *Store) checkpoint() (err error) {
+	s.cpMu.Lock()
+	defer s.cpMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrStoreClosed
+	}
+	lsn := s.appliedLSN
+	if lsn == s.checkpointLSN.Load() {
+		s.mu.Unlock()
+		return nil
+	}
+	entries := s.db.orderedEntries()
+	// Rotate so every record the snapshot covers sits in a sealed
+	// segment; sealed segments behind the snapshot become prunable.
+	rotErr := s.log.Rotate()
+	captured := s.bytesSince
+	s.bytesSince = 0
+	s.mu.Unlock()
+	// On failure put the accounted bytes back, so the automatic trigger
+	// retries on the next append instead of waiting for another full
+	// CheckpointBytes of traffic to accumulate behind a transient error.
+	defer func() {
+		if err != nil {
+			s.mu.Lock()
+			s.bytesSince += captured
+			s.mu.Unlock()
+		}
+	}()
+	if rotErr != nil {
+		return fmt.Errorf("checkpoint: %w", rotErr)
+	}
+
+	path := filepath.Join(s.dir, snapshotName(lsn))
+	if err := fsutil.AtomicWriteFile(path, func(w io.Writer) error {
+		return saveEntries(w, entries)
+	}); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	s.checkpointLSN.Store(lsn)
+	s.checkpoints.Add(1)
+
+	if err := s.log.RemoveObsolete(lsn); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Older snapshots are now strictly redundant: the new one is complete
+	// (atomic rename) and the WAL behind it is gone.
+	snaps, err := listSnapshots(s.dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, name := range snaps {
+		if l, _ := parseSnapshotName(name); l < lsn {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+		}
+	}
+	if err := fsutil.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	s.cpErr.Store("")
+	return nil
+}
+
+// Close flushes the WAL and closes the store. Every acknowledged
+// mutation is durable after a clean Close under any fsync policy.
+// Further mutations return ErrStoreClosed; reads keep working against
+// the in-memory state.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait() // let an in-flight background checkpoint finish or bail
+	err := s.log.Close()
+	if cerr := s.lock.Close(); cerr != nil && err == nil { // releases the flock
+		err = cerr
+	}
+	return err
+}
+
+// StoreStats describes the durable layer, for /healthz and tooling.
+type StoreStats struct {
+	Dir           string    `json:"dir"`
+	LastLSN       uint64    `json:"lastLSN"`
+	CheckpointLSN uint64    `json:"checkpointLSN"`
+	Checkpoints   uint64    `json:"checkpoints"` // completed this session
+	WAL           wal.Stats `json:"wal"`
+	CheckpointErr string    `json:"checkpointErr,omitempty"`
+}
+
+// StoreStats reports the state of the WAL and checkpointer. (DB-level
+// occupancy is served by Stats, unchanged.)
+func (s *Store) StoreStats() StoreStats {
+	st := StoreStats{
+		Dir:           s.dir,
+		CheckpointLSN: s.checkpointLSN.Load(),
+		Checkpoints:   s.checkpoints.Load(),
+		WAL:           s.log.Stats(),
+	}
+	st.LastLSN = st.WAL.LastLSN
+	if v, ok := s.cpErr.Load().(string); ok {
+		st.CheckpointErr = v
+	}
+	return st
+}
+
+// The read/query surface of DB, delegated unchanged: reads never touch
+// the WAL, so the staged pipeline, scorer registry and pagination all
+// work identically on a Store.
+
+// Get returns a copy of the entry with the given id.
+func (s *Store) Get(id string) (Entry, bool) { return s.db.Get(id) }
+
+// Has reports whether an image with the given id is stored.
+func (s *Store) Has(id string) bool { return s.db.Has(id) }
+
+// Len returns the number of stored images.
+func (s *Store) Len() int { return s.db.Len() }
+
+// IDs returns the stored ids in insertion order.
+func (s *Store) IDs() []string { return s.db.IDs() }
+
+// Stats reports shard occupancy of the underlying database.
+func (s *Store) Stats() Stats { return s.db.Stats() }
+
+// ShardCount returns the number of partitions of the underlying database.
+func (s *Store) ShardCount() int { return s.db.ShardCount() }
+
+// Save writes a snapshot of the current state (see DB.Save).
+func (s *Store) Save(w io.Writer) error { return s.db.Save(w) }
+
+// Search ranks the stored images against the query image (see DB.Search).
+func (s *Store) Search(ctx context.Context, q core.Image, opts SearchOptions) ([]Result, error) {
+	return s.db.Search(ctx, q, opts)
+}
+
+// SearchDSL filters by a spatial-predicate query (see DB.SearchDSL).
+func (s *Store) SearchDSL(ctx context.Context, q query.Query, k int) ([]QueryResult, error) {
+	return s.db.SearchDSL(ctx, q, k)
+}
+
+// SearchRegion finds icons intersecting a region (see DB.SearchRegion).
+func (s *Store) SearchRegion(region core.Rect, label string) []RegionHit {
+	return s.db.SearchRegion(region, label)
+}
+
+// Query executes a composable query (see DB.Query).
+func (s *Store) Query(ctx context.Context, q *Query, opts ...QueryOption) (*Page, error) {
+	return s.db.Query(ctx, q, opts...)
+}
+
+// QueryIter streams a composable query's results (see DB.QueryIter).
+func (s *Store) QueryIter(ctx context.Context, q *Query, opts ...QueryOption) iter.Seq2[Hit, error] {
+	return s.db.QueryIter(ctx, q, opts...)
+}

@@ -1,0 +1,477 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bestring/internal/fsutil"
+)
+
+// Policy selects when appended records reach stable storage.
+type Policy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged mutation
+	// survives any crash. The safe default.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs on a background cadence: a crash may lose the
+	// last Interval's worth of acknowledged mutations.
+	SyncInterval
+	// SyncNever leaves flushing to the OS (still synced on rotation and
+	// clean Close): fastest, weakest.
+	SyncNever
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy reads a policy name as accepted by the -fsync flags.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Default tuning.
+const (
+	DefaultSegmentBytes = 4 << 20
+	DefaultInterval     = 100 * time.Millisecond
+)
+
+// Options tune the append side of the log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it would exceed this
+	// size (0 means DefaultSegmentBytes). A single record larger than the
+	// threshold still fits: it gets a segment of its own.
+	SegmentBytes int64
+	// Policy is the fsync policy (zero value: SyncAlways).
+	Policy Policy
+	// Interval is the flush cadence under SyncInterval (0 means
+	// DefaultInterval).
+	Interval time.Duration
+}
+
+// Log is the append side of the write-ahead log. All methods are safe for
+// concurrent use, and Append assigns strictly sequential LSNs in call
+// order.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File // active segment (nil after a fatal rotation failure)
+	size    int64    // bytes in the active segment
+	sealedN int      // sealed (non-active) segment count
+	sealedB int64    // bytes across sealed segments
+	nextLSN uint64
+	dirty   bool // unsynced appends (SyncInterval / SyncNever)
+	// fatalErr is sticky: once a write, sync or rotation fails, the log
+	// may hold a record the caller never acknowledged, and a retried
+	// mutation would append a second copy that poisons replay (the first
+	// applies, the duplicate fails, recovery refuses forever). Every
+	// later Append/Rotate/Sync returns this error instead; the process
+	// must reopen the store, whose recovery truncates or replays the
+	// half-written tail deterministically.
+	fatalErr error
+	closed   bool
+
+	stop chan struct{} // closes the SyncInterval flusher
+	done chan struct{}
+}
+
+// policyMarker is the file recording which fsync policy wrote this log.
+// Replay tolerance must follow the WRITING policy, not whatever the
+// reopening process happens to be configured with: an always-written
+// tail with mid-file damage is real corruption (every acked frame was
+// fsynced in order), while the same bytes in a never-written tail are a
+// plausible crash artefact. Open rewrites the marker, so it always
+// describes the appends that come after the last recovery.
+const policyMarker = "FSYNC"
+
+// WrittenPolicy reports the fsync policy that produced the log in dir,
+// if the marker exists and parses.
+func WrittenPolicy(dir string) (Policy, bool) {
+	data, err := os.ReadFile(filepath.Join(dir, policyMarker))
+	if err != nil {
+		return 0, false
+	}
+	p, err := ParsePolicy(strings.TrimSpace(string(data)))
+	if err != nil {
+		return 0, false
+	}
+	return p, true
+}
+
+// writePolicyMarker durably records the policy about to write the log.
+func writePolicyMarker(dir string, p Policy) error {
+	err := fsutil.AtomicWriteFile(filepath.Join(dir, policyMarker), func(w io.Writer) error {
+		_, werr := fmt.Fprintln(w, p.String())
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("wal: write policy marker: %w", err)
+	}
+	return nil
+}
+
+// segmentName formats the file name of a segment whose first record (if
+// it ever gets one) has the given LSN.
+func segmentName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstLSN)
+}
+
+// parseSegmentName inverts segmentName.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// listSegments returns the segment file names in dir sorted by their
+// first-LSN name component.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseSegmentName(e.Name()); ok && !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded hex: lexicographic == numeric
+	return names, nil
+}
+
+// Open prepares the log in dir for appending; nextLSN is the sequence
+// number the next appended record must get (last replayed LSN + 1, or 1
+// for a fresh log). The caller must have run Replay first so a torn tail
+// is already truncated. The last existing segment is reused while it is
+// below the rotation threshold; otherwise (or when the directory holds no
+// segments) a new segment is created.
+func Open(dir string, nextLSN uint64, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if nextLSN == 0 {
+		return nil, errors.New("wal: open: nextLSN must be >= 1")
+	}
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, nextLSN: nextLSN}
+	for i, name := range names {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("wal: open: %w", err)
+		}
+		if i < len(names)-1 {
+			l.sealedN++
+			l.sealedB += info.Size()
+			continue
+		}
+		if info.Size() < opts.SegmentBytes {
+			f, err := os.OpenFile(filepath.Join(dir, name), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("wal: open active segment: %w", err)
+			}
+			l.f, l.size = f, info.Size()
+		} else {
+			l.sealedN++
+			l.sealedB += info.Size()
+		}
+	}
+	if l.f == nil {
+		if err := l.createSegmentLocked(); err != nil {
+			return nil, err
+		}
+	}
+	if err := writePolicyMarker(dir, opts.Policy); err != nil {
+		l.f.Close()
+		return nil, err
+	}
+	if opts.Policy == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.flusher()
+	}
+	return l, nil
+}
+
+// createSegmentLocked opens a fresh active segment named after the next
+// LSN and makes its directory entry durable. Callers hold l.mu (or are
+// Open, before the Log is shared).
+func (l *Log) createSegmentLocked() error {
+	path := filepath.Join(l.dir, segmentName(l.nextLSN))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := fsutil.SyncDir(l.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.f, l.size = f, 0
+	return nil
+}
+
+// sealLocked syncs and closes the active segment, moving it to the sealed
+// tally. Callers hold l.mu.
+func (l *Log) sealLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	l.sealedN++
+	l.sealedB += l.size
+	l.size = 0
+	l.dirty = false
+	l.f = nil
+	return nil
+}
+
+// fail records a fatal append-path error and returns it. Callers hold
+// l.mu.
+func (l *Log) fail(err error) error {
+	if l.fatalErr == nil {
+		l.fatalErr = err
+	}
+	return err
+}
+
+// Append assigns the record the next LSN, frames it into the active
+// segment (rotating first if it would overflow) and applies the fsync
+// policy. It returns the assigned LSN and the framed size in bytes.
+func (l *Log) Append(rec Record) (lsn uint64, n int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, 0, errors.New("wal: append on closed log")
+	}
+	if l.fatalErr != nil {
+		return 0, 0, l.fatalErr
+	}
+	rec.LSN = l.nextLSN
+	frame, err := encodeFrame(nil, &rec)
+	if err != nil {
+		// Nothing reached the file: an encode failure is not fatal.
+		return 0, 0, err
+	}
+	if l.size > 0 && l.size+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, 0, l.fail(err)
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		// The frame may be partially on disk; appending anything after it
+		// would turn the torn frame into interior corruption.
+		return 0, 0, l.fail(fmt.Errorf("wal: append record %d: %w", rec.LSN, err))
+	}
+	l.size += int64(len(frame))
+	l.nextLSN++
+	if l.opts.Policy == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			// The record is written but not durable, and the caller will
+			// not acknowledge it; a retry would duplicate the LSN stream.
+			return 0, 0, l.fail(fmt.Errorf("wal: sync record %d: %w", rec.LSN, err))
+		}
+	} else {
+		l.dirty = true
+	}
+	return rec.LSN, len(frame), nil
+}
+
+// rotateLocked seals the active segment and starts a new one. Callers
+// hold l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.sealLocked(); err != nil {
+		return err
+	}
+	return l.createSegmentLocked()
+}
+
+// Rotate seals the active segment (if it has any records) and starts a
+// fresh one. Checkpoints rotate before snapshotting so every record the
+// snapshot covers lives in a sealed — hence prunable — segment.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: rotate on closed log")
+	}
+	if l.fatalErr != nil {
+		return l.fatalErr
+	}
+	if l.size == 0 {
+		return nil
+	}
+	if err := l.rotateLocked(); err != nil {
+		return l.fail(err)
+	}
+	return nil
+}
+
+// Sync flushes buffered appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.fatalErr != nil {
+		return l.fatalErr
+	}
+	if l.closed || !l.dirty || l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.fail(fmt.Errorf("wal: sync: %w", err))
+	}
+	l.dirty = false
+	return nil
+}
+
+// flusher is the SyncInterval background loop. A flush failure is sticky:
+// it surfaces on the next Append rather than being silently retried,
+// because an acknowledgement must never outrun the disk by more than one
+// interval.
+func (l *Log) flusher() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.dirty && l.fatalErr == nil && l.f != nil {
+				if err := l.f.Sync(); err != nil {
+					l.fatalErr = fmt.Errorf("wal: background sync: %w", err)
+				} else {
+					l.dirty = false
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// RemoveObsolete deletes sealed segments whose every record has
+// LSN <= throughLSN — the segments a checkpoint at throughLSN has made
+// redundant. The active segment is never removed. A sealed segment's
+// coverage ends where the next segment's name begins, so only segments
+// entirely behind the checkpoint go.
+func (l *Log) RemoveObsolete(throughLSN uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i := 0; i+1 < len(names); i++ { // names[len-1] is the active segment
+		nextFirst, ok := parseSegmentName(names[i+1])
+		if !ok || nextFirst > throughLSN+1 {
+			break // later segments still hold live records
+		}
+		path := filepath.Join(l.dir, names[i])
+		info, statErr := os.Stat(path)
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("wal: remove obsolete segment: %w", err)
+		}
+		l.sealedN--
+		if statErr == nil {
+			l.sealedB -= info.Size()
+		}
+		removed = true
+	}
+	if removed {
+		return fsutil.SyncDir(l.dir)
+	}
+	return nil
+}
+
+// Stats is a point-in-time description of the log, for monitoring.
+type Stats struct {
+	Segments     int    `json:"segments"`     // sealed + active
+	Bytes        int64  `json:"bytes"`        // total bytes on disk
+	ActiveBytes  int64  `json:"activeBytes"`  // bytes in the active segment
+	SegmentBytes int64  `json:"segmentBytes"` // rotation threshold
+	LastLSN      uint64 `json:"lastLSN"`      // last assigned LSN (0: none yet)
+	Fsync        string `json:"fsync"`        // policy name
+}
+
+// Stats reports the current shape of the log.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Segments:     l.sealedN + 1,
+		Bytes:        l.sealedB + l.size,
+		ActiveBytes:  l.size,
+		SegmentBytes: l.opts.SegmentBytes,
+		LastLSN:      l.nextLSN - 1,
+		Fsync:        l.opts.Policy.String(),
+	}
+}
+
+// Close flushes and closes the log. Records appended before a clean Close
+// are durable under every policy.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stop := l.stop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.done
+	}
+	if l.f == nil { // active segment lost to a failed rotation
+		return l.fatalErr
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package wal implements the segmented write-ahead log under the durable
+// store (DESIGN.md section 5): an append-only sequence of CRC32C-framed
+// mutation records split across size-bounded segment files, with a
+// configurable fsync policy, a replayer that tolerates a torn tail record
+// while rejecting interior corruption, and pruning of segments made
+// obsolete by a checkpoint.
+//
+// The log stores *mutations*, not state: every record describes one
+// acknowledged change to the image database (an insert, a delete, an
+// object edit, or an all-or-nothing bulk batch). Recovery is
+// deterministic replay — load the last checkpoint snapshot, then apply
+// every record with a newer LSN in order.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"bestring/internal/core"
+)
+
+// Record operations. A record holds exactly the fields its op needs; the
+// rest stay zero and are omitted from the encoding.
+const (
+	OpInsert       = "insert"        // ID, Name, Image
+	OpDelete       = "delete"        // ID
+	OpInsertObject = "insert-object" // ID, Object
+	OpDeleteObject = "delete-object" // ID, Label
+	OpBulk         = "bulk"          // Items (one atomic batch)
+)
+
+// BulkItem is one image of an atomic bulk-insert record.
+type BulkItem struct {
+	ID    string     `json:"id"`
+	Name  string     `json:"name,omitempty"`
+	Image core.Image `json:"image"`
+}
+
+// Record is one logged mutation. LSN is the log sequence number: records
+// are numbered 1, 2, 3, ... with no gaps, and the replayer rejects a log
+// that breaks the sequence. The payload is JSON — the same interchange
+// idiom as the snapshot format — framed in binary (see frame layout
+// below).
+type Record struct {
+	LSN    uint64       `json:"lsn"`
+	Op     string       `json:"op"`
+	ID     string       `json:"id,omitempty"`
+	Name   string       `json:"name,omitempty"`
+	Label  string       `json:"label,omitempty"`
+	Image  *core.Image  `json:"image,omitempty"`
+	Object *core.Object `json:"object,omitempty"`
+	Items  []BulkItem   `json:"items,omitempty"`
+}
+
+// Frame layout, little-endian:
+//
+//	offset 0: uint32 payload length
+//	offset 4: uint32 CRC32C (Castagnoli) of the payload
+//	offset 8: payload (JSON-encoded Record)
+//
+// The CRC covers only the payload: a frame whose checksum fails at the
+// very end of the final segment is indistinguishable from a write cut
+// short by a crash, and is treated as a torn tail; anywhere else it is
+// corruption.
+const frameHeaderLen = 8
+
+// maxRecordBytes bounds a single payload. A length field above the bound
+// inside the log is corruption (or a torn length write at the tail).
+const maxRecordBytes = 64 << 20
+
+// castagnoli is the CRC32C table shared by writers and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame appends the framed record to buf and returns the extended
+// slice.
+func encodeFrame(buf []byte, rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode record %d: %w", rec.LSN, err)
+	}
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("wal: record %d payload %d bytes exceeds limit %d",
+			rec.LSN, len(payload), maxRecordBytes)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// CorruptError reports damage inside the write-ahead log that recovery
+// must not paper over: a bad checksum, an impossible length, an
+// undecodable payload or a broken LSN sequence anywhere except the tail
+// of the final segment.
+type CorruptError struct {
+	Segment string // segment file path
+	Offset  int64  // byte offset of the bad frame
+	Reason  string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt log: %s at offset %d: %s", e.Segment, e.Offset, e.Reason)
+}

@@ -1,0 +1,200 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// scanResult is one segment's walk: how many bytes of valid frames it
+// holds and whether garbage follows them.
+type scanResult struct {
+	validLen int64 // bytes of complete, checksummed frames
+	records  int   // frames decoded
+	torn     bool  // bytes after validLen do not form a complete frame
+}
+
+// scanSegment walks the frames of one segment, calling fn for each
+// decoded record. final says whether this is the last segment of the log:
+// only there may a bad tail be forgiven as a torn write.
+//
+// The strict torn-tail rule (tolerant=false, right for a log written
+// under SyncAlways, where every acknowledged frame was fsynced): a frame
+// is a torn write if and only if it is the final frame of the final
+// segment and is incomplete (header or payload cut short by EOF) or
+// fails its checksum with nothing after it. A checksum failure followed
+// by further bytes means the writer went on appending after the bad
+// frame, which a crash cannot produce once frames are synced in order —
+// that is interior corruption and recovery must refuse to guess.
+//
+// Under SyncInterval/SyncNever the strict rule is wrong: unsynced pages
+// of the active segment may reach the disk out of order, so a crash CAN
+// leave a bad frame with valid-looking bytes after it. tolerant=true
+// therefore treats ANY bad frame in the final segment as the end of the
+// log and truncates there — records past it were never durable under
+// those policies, so dropping them is within the acknowledged-loss
+// window. Non-final segments were sealed with an explicit fsync under
+// every policy, so damage there is always corruption.
+func scanSegment(path string, data []byte, final, tolerant bool, fn func(off int64, rec *Record) error) (scanResult, error) {
+	var res scanResult
+	off := 0
+	for off < len(data) {
+		rem := len(data) - off
+		tail := func(reason string) (scanResult, error) {
+			if final {
+				res.torn = true
+				return res, nil
+			}
+			return res, &CorruptError{Segment: path, Offset: int64(off), Reason: reason}
+		}
+		if rem < frameHeaderLen {
+			return tail(fmt.Sprintf("truncated frame header (%d bytes)", rem))
+		}
+		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if length > maxRecordBytes {
+			// An absurd length that still "fits" in the file is damage; one
+			// that points past EOF at the tail is a cut-short length write.
+			if off+frameHeaderLen+length > len(data) || (final && tolerant) {
+				return tail(fmt.Sprintf("frame length %d exceeds limit", length))
+			}
+			return res, &CorruptError{Segment: path, Offset: int64(off),
+				Reason: fmt.Sprintf("frame length %d exceeds limit %d", length, maxRecordBytes)}
+		}
+		end := off + frameHeaderLen + length
+		if end > len(data) {
+			return tail(fmt.Sprintf("truncated payload (%d of %d bytes)", rem-frameHeaderLen, length))
+		}
+		payload := data[off+frameHeaderLen : end]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+4:off+8]) {
+			if final && (tolerant || end == len(data)) {
+				res.torn = true
+				return res, nil
+			}
+			return res, &CorruptError{Segment: path, Offset: int64(off), Reason: "checksum mismatch"}
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return res, &CorruptError{Segment: path, Offset: int64(off),
+				Reason: fmt.Sprintf("undecodable payload: %v", err)}
+		}
+		if fn != nil {
+			if err := fn(int64(off), &rec); err != nil {
+				return res, err
+			}
+		}
+		res.validLen = int64(end)
+		res.records++
+		off = end
+	}
+	return res, nil
+}
+
+// Replay scans every segment in dir in LSN order, verifies framing and
+// LSN continuity, and calls apply for each record with LSN > afterLSN
+// (afterLSN is the sequence number the caller's snapshot already covers).
+// A torn tail on the final segment is truncated in place so the log is
+// clean for appending; damage anywhere else returns a *CorruptError.
+// tolerantTail selects the final-segment rule (see scanSegment): pass
+// false for a log written under SyncAlways — any mid-file damage is then
+// real corruption — and true for SyncInterval/SyncNever, whose unsynced
+// tails can legitimately reach the disk out of order. The returned LSN is
+// the last one present in the log (afterLSN when the log holds nothing
+// newer).
+func Replay(dir string, afterLSN uint64, tolerantTail bool, apply func(Record) error) (uint64, error) {
+	names, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	last := afterLSN
+	prev := uint64(0)
+	first := true
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 0, fmt.Errorf("wal: replay: %w", err)
+		}
+		final := i == len(names)-1
+		res, err := scanSegment(path, data, final, tolerantTail, func(off int64, rec *Record) error {
+			if first {
+				first = false
+				if rec.LSN > afterLSN+1 {
+					return fmt.Errorf("wal: missing records: log starts at lsn %d but the snapshot covers only through %d", rec.LSN, afterLSN)
+				}
+			} else if rec.LSN != prev+1 {
+				return &CorruptError{Segment: path, Offset: off,
+					Reason: fmt.Sprintf("lsn %d breaks sequence (previous %d)", rec.LSN, prev)}
+			}
+			prev = rec.LSN
+			if rec.LSN > last {
+				last = rec.LSN
+			}
+			if rec.LSN > afterLSN && apply != nil {
+				if err := apply(*rec); err != nil {
+					return fmt.Errorf("wal: replay record %d (%s %q): %w", rec.LSN, rec.Op, rec.ID, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		if res.torn {
+			if err := os.Truncate(path, res.validLen); err != nil {
+				return 0, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+		}
+	}
+	return last, nil
+}
+
+// SegmentInfo describes one segment for inspection tooling.
+type SegmentInfo struct {
+	File      string `json:"file"`
+	FirstLSN  uint64 `json:"firstLSN"` // from the file name
+	Bytes     int64  `json:"bytes"`
+	Records   int    `json:"records"`
+	TornBytes int64  `json:"tornBytes,omitempty"` // trailing bytes of a torn write
+	Err       string `json:"err,omitempty"`       // interior corruption, if any
+}
+
+// Inspect walks the log read-only: unlike Replay it never truncates, and
+// a damaged segment is reported in its SegmentInfo rather than aborting
+// the walk. fn (optional) receives every decodable record.
+func Inspect(dir string, fn func(Record)) ([]SegmentInfo, error) {
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]SegmentInfo, 0, len(names))
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		info := SegmentInfo{File: name}
+		info.FirstLSN, _ = parseSegmentName(name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: inspect: %w", err)
+		}
+		info.Bytes = int64(len(data))
+		// Inspect is strict on purpose: anything suspicious is worth
+		// showing the operator, whatever policy wrote the log.
+		res, err := scanSegment(path, data, i == len(names)-1, false, func(_ int64, rec *Record) error {
+			if fn != nil {
+				fn(*rec)
+			}
+			return nil
+		})
+		info.Records = res.records
+		if res.torn {
+			info.TornBytes = info.Bytes - res.validLen
+		}
+		if err != nil {
+			info.Err = err.Error()
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}

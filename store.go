@@ -1,0 +1,58 @@
+package bestring
+
+import (
+	"bestring/internal/imagedb"
+)
+
+// Durable-store types, re-exported. A Store wraps a DB with a segmented
+// write-ahead log and checkpointed snapshots: every mutation is framed
+// and fsynced (per policy) before it is applied, and OpenStore recovers
+// the state a crash left behind — the latest valid snapshot plus a replay
+// of the newer log tail. The full query/search API of DB is available on
+// a Store unchanged; see DESIGN.md section 5.
+type (
+	// Store is the durable image database (WAL + snapshots + recovery).
+	Store = imagedb.Store
+	// StoreOptions tune OpenStore (fsync policy, segment size, shard
+	// count, checkpoint threshold).
+	StoreOptions = imagedb.StoreOptions
+	// StoreStats describes a store's WAL and checkpoint state.
+	StoreStats = imagedb.StoreStats
+	// StoreInspection is InspectStore's read-only report on a store
+	// directory.
+	StoreInspection = imagedb.StoreInspection
+	// FsyncPolicy selects when acknowledged mutations reach stable
+	// storage.
+	FsyncPolicy = imagedb.FsyncPolicy
+)
+
+// Fsync policies: every append (safest, the default), a background
+// interval (bounded loss window), or never (OS-paced, fastest). See
+// EXPERIMENTS.md E11 for the throughput trade.
+const (
+	FsyncAlways   = imagedb.FsyncAlways
+	FsyncInterval = imagedb.FsyncInterval
+	FsyncNever    = imagedb.FsyncNever
+)
+
+// ErrStoreClosed is returned by mutations on a closed Store.
+var ErrStoreClosed = imagedb.ErrStoreClosed
+
+// OpenStore opens (creating if necessary) the durable store in dataDir
+// and recovers its state. A torn final WAL record — a crash mid-append —
+// is truncated and tolerated; interior corruption aborts with a
+// descriptive error. Close the store to flush cleanly.
+func OpenStore(dataDir string, opts StoreOptions) (*Store, error) {
+	return imagedb.OpenStore(dataDir, opts)
+}
+
+// ParseFsyncPolicy reads a policy name: "always", "interval" or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	return imagedb.ParseFsyncPolicy(s)
+}
+
+// InspectStore examines a store directory without opening it for
+// writing: snapshots, WAL segments, record counts and tail condition.
+func InspectStore(dataDir string) (*StoreInspection, error) {
+	return imagedb.InspectStore(dataDir)
+}
