@@ -7,6 +7,7 @@ package bestring_test
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"bestring/internal/baseline/bstring"
@@ -572,6 +573,69 @@ func BenchmarkWALAppend(b *testing.B) {
 				}
 				sink += int(lsn)
 			}
+		})
+	}
+}
+
+// BenchmarkSnapshotSearch is the microbench behind experiment E12:
+// parallel ranked top-10 queries against the MVCC engine, with and
+// without concurrent writer churn. Readers pin an immutable snapshot per
+// query and acquire no locks, so the writers=4 numbers should track the
+// writers=0 baseline; cmd/benchtab -exp e12 reports the same trade as
+// throughput over a fixed window.
+func BenchmarkSnapshotSearch(b *testing.B) {
+	const n = 10000
+	gen := workload.NewGenerator(workload.Config{Seed: 41, Vocabulary: 32, Objects: 8})
+	scenes := gen.Dataset(n)
+	items := make([]imagedb.BulkItem, n)
+	for i, s := range scenes {
+		items[i] = imagedb.BulkItem{ID: fmt.Sprintf("img%06d", i), Image: s}
+	}
+	db := imagedb.New()
+	ctx := context.Background()
+	if err := db.BulkInsert(ctx, items, 0); err != nil {
+		b.Fatal(err)
+	}
+	query := gen.SubsetQuery(scenes[n/2], 4)
+	churn := gen.Scene()
+	for _, writers := range []int{0, 4} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						id := fmt.Sprintf("churn-%d-%d", w, i)
+						if err := db.Insert(id, "", churn); err != nil {
+							return
+						}
+						_ = db.Delete(id)
+					}
+				}(w)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					page, err := db.Query(ctx, imagedb.NewQuery(query), imagedb.WithK(10))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(page.Hits) == 0 {
+						b.Fatal("no hits")
+					}
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
 		})
 	}
 }

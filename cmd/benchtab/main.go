@@ -2,13 +2,14 @@
 // BE-string paper as text tables (or CSV series): experiments E1-E8 of
 // DESIGN.md, plus the engine experiments E9 (search scaling), E10
 // (filtered-search scaling through the composable query pipeline; e7b
-// is the adversarial clique companion) and E11 (durable-store write
-// throughput across fsync policy x batch size). Run with -exp all
+// is the adversarial clique companion), E11 (durable-store write
+// throughput across fsync policy x batch size) and E12 (snapshot-reader
+// throughput under 0/1/4 concurrent writers). Run with -exp all
 // (default) or a single experiment id.
 //
 // Usage:
 //
-//	benchtab [-exp e1|e2|...|e11|all] [-quick] [-csv]
+//	benchtab [-exp e1|e2|...|e12|all] [-quick] [-csv]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bestring/internal/bench"
 	"bestring/internal/retrieval"
@@ -30,7 +32,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: e1..e11 or all")
+	exp := fs.String("exp", "all", "experiment to run: e1..e12 or all")
 	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	if err := fs.Parse(args); err != nil {
@@ -45,6 +47,8 @@ func run(args []string) error {
 	filteredSizes := []int{1000, 10000, 100000}
 	selectivities := []int{1, 10, 100}
 	walBatches := []int{1, 16, 128}
+	mixedCorpus, mixedReaders, mixedWindow := 4000, 4, 500*time.Millisecond
+	mixedWriters := []int{0, 1, 4}
 	qualityCfgs := bench.QualityConfigs(bench.DefaultSeed)
 	if *quick {
 		sweep = []int{4, 8}
@@ -54,6 +58,7 @@ func run(args []string) error {
 		searchSizes = []int{200, 500}
 		filteredSizes = []int{300, 1000}
 		walBatches = []int{1, 16}
+		mixedCorpus, mixedReaders, mixedWindow = 800, 2, 150*time.Millisecond
 		qualityCfgs = qualityCfgs[:1]
 		qualityCfgs[0].Cfg = retrieval.WorkloadConfig{
 			Seed: bench.DefaultSeed, Distractors: 10, Relevant: 2, Queries: 2, Jitter: 2,
@@ -77,6 +82,9 @@ func run(args []string) error {
 		{"e9", func() (*bench.Table, error) { return bench.SearchScaling(searchSizes, 10) }},
 		{"e10", func() (*bench.Table, error) { return bench.FilteredSearch(filteredSizes, selectivities, 10) }},
 		{"e11", func() (*bench.Table, error) { return bench.WALThroughput(walBatches) }},
+		{"e12", func() (*bench.Table, error) {
+			return bench.MixedReadWrite(mixedCorpus, mixedWriters, mixedReaders, mixedWindow)
+		}},
 	}
 
 	emit := func(t *bench.Table) error {
@@ -120,7 +128,7 @@ func run(args []string) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e11 or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e12 or all)", *exp)
 	}
 	return nil
 }

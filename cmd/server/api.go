@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 
@@ -38,6 +39,7 @@ type engine interface {
 	SearchDSL(ctx context.Context, q bestring.SpatialQuery, k int) ([]bestring.QueryResult, error)
 	SearchRegion(region bestring.Rect, label string) []bestring.RegionHit
 	Query(ctx context.Context, q *bestring.Query, opts ...bestring.QueryOption) (*bestring.QueryPage, error)
+	Snapshot() *bestring.Snapshot
 }
 
 // newMux wires the REST routes onto a database. Resource routes are
@@ -45,8 +47,13 @@ type engine interface {
 // POST /api/v1/search supersedes the v0 trio (POST /api/search,
 // GET /api/search/dsl, GET /api/region), which stay as aliases of the
 // same pipeline.
-func newMux(e engine) http.Handler {
-	api := &api{db: e}
+func newMux(e engine) http.Handler { return newMuxWith(e, 0) }
+
+// newMuxWith additionally sets the server-wide default scoring
+// parallelism applied to search requests that set none (0 means
+// GOMAXPROCS, the engine default).
+func newMuxWith(e engine, defaultParallelism int) http.Handler {
+	api := &api{db: e, parallelism: defaultParallelism}
 	// A durable store additionally reports WAL/checkpoint state on
 	// /healthz, the signal an operator watches during recovery.
 	api.store, _ = e.(*bestring.Store)
@@ -68,6 +75,9 @@ func newMux(e engine) http.Handler {
 type api struct {
 	db    engine
 	store *bestring.Store // nil when serving an in-memory DB
+	// parallelism is the default scoring-worker bound for requests that
+	// set none (0 means GOMAXPROCS).
+	parallelism int
 }
 
 // writeJSON emits a JSON response.
@@ -120,9 +130,15 @@ func queryStatus(err error) int {
 }
 
 func (a *api) health(w http.ResponseWriter, _ *http.Request) {
+	// Stats reads one published version, so epoch and entry count are
+	// mutually consistent; alongside the WAL LSNs below they let an
+	// operator watch writer progress versus published read state.
 	stats := a.db.Stats()
 	body := map[string]any{
 		"ok": true, "images": stats.Images, "shards": stats.Shards,
+		"epoch":      stats.Epoch,
+		"entries":    stats.Images,
+		"goroutines": runtime.NumGoroutine(),
 	}
 	if a.store != nil {
 		ss := a.store.StoreStats()
@@ -217,11 +233,15 @@ func (a *api) search(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad parallelism %d", req.Parallelism))
 		return
 	}
+	parallelism := req.Parallelism
+	if parallelism == 0 {
+		parallelism = a.parallelism
+	}
 	results, err := a.db.Search(r.Context(), req.Image, bestring.SearchOptions{
 		K:              req.K,
 		Scorer:         scorer,
 		MinScore:       req.MinScore,
-		Parallelism:    req.Parallelism,
+		Parallelism:    parallelism,
 		LabelPrefilter: req.LabelPrefilter,
 	})
 	if err != nil {
@@ -299,11 +319,21 @@ type queryRequest struct {
 	Parallelism    int     `json:"parallelism,omitempty"`
 	LabelPrefilter bool    `json:"labelPrefilter,omitempty"`
 
+	// Consistent pins the request (every query of a batch) to one
+	// snapshot epoch: all queries read the exact same immutable version
+	// of the store, however many writers run concurrently, and the
+	// response reports the pinned epoch. Queries carrying a cursor keep
+	// the (older) epoch the cursor pinned instead — continuing their
+	// exact page walk rather than jumping to the fresh snapshot.
+	Consistent bool `json:"consistent,omitempty"`
+
 	Queries []queryRequest `json:"queries,omitempty"`
 }
 
 // buildQuery compiles one request into a pipeline query.
-func buildQuery(req queryRequest) (*bestring.Query, []bestring.QueryOption, error) {
+// defaultParallelism fills in the scoring-worker bound for requests that
+// set none.
+func buildQuery(req queryRequest, defaultParallelism int) (*bestring.Query, []bestring.QueryOption, error) {
 	if req.RegionLabel != "" && req.Region == nil {
 		return nil, nil, fmt.Errorf("regionLabel requires region")
 	}
@@ -313,13 +343,17 @@ func buildQuery(req queryRequest) (*bestring.Query, []bestring.QueryOption, erro
 	} else {
 		q = bestring.NewMatchQuery()
 	}
+	parallelism := req.Parallelism
+	if parallelism == 0 {
+		parallelism = defaultParallelism
+	}
 	opts := []bestring.QueryOption{
 		bestring.WithK(req.K),
 		bestring.WithOffset(req.Offset),
 		bestring.WithCursor(req.Cursor),
 		bestring.WithScorer(req.Scorer),
 		bestring.WithMinScore(req.MinScore),
-		bestring.WithParallelism(req.Parallelism),
+		bestring.WithParallelism(parallelism),
 		bestring.WithLabelPrefilter(req.LabelPrefilter),
 	}
 	if req.DSL != "" {
@@ -340,8 +374,10 @@ type queryResponse struct {
 	Hits       []bestring.QueryHit `json:"hits"`
 	Total      int                 `json:"total"`
 	NextCursor string              `json:"nextCursor,omitempty"`
-	Error      string              `json:"error,omitempty"`
-	Status     int                 `json:"status,omitempty"` // set only on per-query batch errors
+	// Epoch identifies the immutable store version the query read.
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Status int    `json:"status,omitempty"` // set only on per-query batch errors
 }
 
 func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
@@ -349,6 +385,25 @@ func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
 	if status, err := decodeBody(w, r, true, &req); err != nil {
 		writeErr(w, status, err)
 		return
+	}
+
+	// With "consistent" the whole request pins one snapshot epoch up
+	// front: every query (of a batch) reads the same immutable version,
+	// so a concurrent writer can never make two queries of one request
+	// disagree about the store's contents. A query carrying a cursor is
+	// the exception — the cursor already pins the epoch its first page
+	// ran on, and that older pin must win (routing it onto the fresh
+	// snapshot would break the no-skip/no-duplicate pagination
+	// guarantee), so it goes through the engine's cursor resolution.
+	var snap *bestring.Snapshot
+	if req.Consistent {
+		snap = a.db.Snapshot()
+	}
+	runQuery := func(ctx context.Context, sub queryRequest, q *bestring.Query, opts []bestring.QueryOption) (*bestring.QueryPage, error) {
+		if snap != nil && sub.Cursor == "" {
+			return snap.Query(ctx, q, opts...)
+		}
+		return a.db.Query(ctx, q, opts...)
 	}
 
 	if len(req.Queries) > 0 {
@@ -367,6 +422,11 @@ func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
 				writeErr(w, http.StatusBadRequest, fmt.Errorf("queries cannot nest"))
 				return
 			}
+			if sub.Consistent {
+				writeErr(w, http.StatusBadRequest,
+					fmt.Errorf("consistent applies to the whole batch, not a single query"))
+				return
+			}
 		}
 		out := make([]queryResponse, len(req.Queries))
 		var wg sync.WaitGroup
@@ -374,35 +434,39 @@ func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(i int, sub queryRequest) {
 				defer wg.Done()
-				q, opts, err := buildQuery(sub)
+				q, opts, err := buildQuery(sub, a.parallelism)
 				if err != nil {
 					out[i] = queryResponse{Hits: []bestring.QueryHit{}, Error: err.Error(), Status: http.StatusBadRequest}
 					return
 				}
-				page, err := a.db.Query(r.Context(), q, opts...)
+				page, err := runQuery(r.Context(), sub, q, opts)
 				if err != nil {
 					out[i] = queryResponse{Hits: []bestring.QueryHit{}, Error: err.Error(), Status: queryStatus(err)}
 					return
 				}
-				out[i] = queryResponse{Hits: page.Hits, Total: page.Total, NextCursor: page.NextCursor}
+				out[i] = queryResponse{Hits: page.Hits, Total: page.Total, NextCursor: page.NextCursor, Epoch: page.Epoch}
 			}(i, sub)
 		}
 		wg.Wait()
-		writeJSON(w, http.StatusOK, map[string]any{"results": out})
+		resp := map[string]any{"results": out}
+		if snap != nil {
+			resp["epoch"] = snap.Epoch()
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 
-	q, opts, err := buildQuery(req)
+	q, opts, err := buildQuery(req, a.parallelism)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	page, err := a.db.Query(r.Context(), q, opts...)
+	page, err := runQuery(r.Context(), req, q, opts)
 	if err != nil {
 		writeErr(w, queryStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
-		Hits: page.Hits, Total: page.Total, NextCursor: page.NextCursor,
+		Hits: page.Hits, Total: page.Total, NextCursor: page.NextCursor, Epoch: page.Epoch,
 	})
 }

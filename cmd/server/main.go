@@ -4,7 +4,9 @@
 //
 // Endpoints (resource routes answer under both /api and /api/v1):
 //
-//	GET    /healthz                           liveness (+ WAL/checkpoint stats with -data-dir)
+//	GET    /healthz                           liveness: snapshot epoch, entry and
+//	                                          goroutine counts (+ WAL/checkpoint
+//	                                          stats with -data-dir)
 //	GET    /api/images                        list stored ids
 //	POST   /api/images                        insert {"id","name","image"}
 //	GET    /api/images/{id}                   fetch one entry
@@ -13,7 +15,9 @@
 //	                                          {"image","dsl","region","regionLabel",
 //	                                          "scorer",k,offset,"cursor",minScore,
 //	                                          whereMin,parallelism,labelPrefilter},
-//	                                          or a concurrent batch {"queries":[...]}
+//	                                          or a concurrent batch {"queries":[...]};
+//	                                          "consistent":true pins the whole
+//	                                          request to one snapshot epoch
 //	POST   /api/search                        v0 ranked search (alias of the pipeline)
 //	GET    /api/search/dsl?q=A+left-of+B&k=5  v0 spatial-predicate search (alias)
 //	GET    /api/region?x0=&y0=&x1=&y1=&label= v0 R-tree icon lookup (alias)
@@ -22,6 +26,12 @@
 //
 //	server [-addr :8081] [-data-dir DIR [-fsync always|interval|never]
 //	       [-segment-bytes N]] [-dbfile db.json] [-seed 0 -count 0] [-shards 0]
+//	       [-parallelism 0]
+//
+// Flags are validated up front: a negative -shards/-parallelism/-count/
+// -segment-bytes or an unknown -fsync policy exits with a one-line error
+// before anything is opened, instead of surfacing as undefined behavior
+// deep in the engine.
 //
 // With -data-dir the server runs on the durable store: every mutation is
 // written to the write-ahead log before it is acknowledged, and a restart
@@ -71,11 +81,30 @@ func run(args []string) error {
 	count := fs.Int("count", 0, "generate a synthetic database of this size when empty")
 	seed := fs.Int64("seed", 1, "generator seed for -count")
 	shards := fs.Int("shards", 0, "shard count for a synthetic or empty database (0 = GOMAXPROCS)")
+	parallelism := fs.Int("parallelism", 0, "default scoring workers for search requests that set none (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Validate every flag before opening anything: a bad value must be a
+	// one-line startup error, not undefined behavior deep in the engine.
 	if *dataDir != "" && *dbfile != "" {
 		return fmt.Errorf("-data-dir and -dbfile are mutually exclusive")
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
+	}
+	if *parallelism < 0 {
+		return fmt.Errorf("-parallelism must be >= 0, got %d", *parallelism)
+	}
+	if *segBytes < 0 {
+		return fmt.Errorf("-segment-bytes must be >= 0, got %d", *segBytes)
+	}
+	if *count < 0 {
+		return fmt.Errorf("-count must be >= 0, got %d", *count)
+	}
+	policy, err := bestring.ParseFsyncPolicy(*fsyncS)
+	if err != nil {
+		return err
 	}
 
 	var (
@@ -84,10 +113,6 @@ func run(args []string) error {
 		db    *bestring.DB
 	)
 	if *dataDir != "" {
-		policy, err := bestring.ParseFsyncPolicy(*fsyncS)
-		if err != nil {
-			return err
-		}
 		s, err := bestring.OpenStore(*dataDir, bestring.StoreOptions{
 			Shards:       *shards,
 			Fsync:        policy,
@@ -113,7 +138,7 @@ func run(args []string) error {
 		db, eng = d, d
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(eng)}
+	srv := &http.Server{Addr: *addr, Handler: newMuxWith(eng, *parallelism)}
 	errCh := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -21,6 +21,12 @@ type (
 	Scorer = imagedb.Scorer
 	// DBStats describes shard occupancy of a DB.
 	DBStats = imagedb.Stats
+	// Snapshot is a pinned, immutable view of a DB (or Store) at one
+	// epoch: every read on it — Get, Query, QueryIter, pagination — is
+	// lock-free and perfectly repeatable whatever concurrent writers do.
+	// Obtain one with DB.Snapshot or Store.Snapshot (one atomic load; the
+	// data is shared copy-on-write, not copied).
+	Snapshot = imagedb.Snapshot
 	// TypeLevel selects the strictness of the baseline type-i similarity.
 	TypeLevel = typesim.Level
 )

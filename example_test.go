@@ -128,3 +128,30 @@ func ExampleOpenStore() {
 	// Output:
 	// 1 true the worked example
 }
+
+// ExampleDB_Snapshot pins an immutable version of the database: every
+// read on the snapshot is lock-free and repeatable bit-for-bit, however
+// many writers run concurrently — later mutations are simply another
+// version, published under a higher epoch.
+func ExampleDB_Snapshot() {
+	db := bestring.NewDB()
+	if err := db.Insert("fig1", "the worked example", bestring.Figure1Image()); err != nil {
+		panic(err)
+	}
+
+	snap := db.Snapshot() // one atomic load; data is shared, not copied
+
+	// A writer keeps going; the pinned view does not move.
+	if err := db.Delete("fig1"); err != nil {
+		panic(err)
+	}
+
+	page, err := snap.Query(context.Background(),
+		bestring.NewQuery(bestring.Figure1Image()), bestring.WithK(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(snap.Len(), db.Len(), page.Hits[0].ID, db.Epoch() > snap.Epoch())
+	// Output:
+	// 1 0 fig1 true
+}

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bestring/internal/baseline/bstring"
@@ -597,4 +600,155 @@ func WALThroughput(batchSizes []int) (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// writerPace is the interval between one E12 writer's insert+delete
+// pairs: 25ms, i.e. ~80 mutations/s per writer — sustained catalog
+// churn for the paper's read-dominated retrieval profile (lookups
+// vastly outnumber mutations), while keeping the writers' own CPU
+// share small so the table measures reader *interference* (lock
+// stalls, publish contention, cache churn) rather than plain core
+// sharing on small hosts. An unpaced writer saturating a core would
+// measure the scheduler, not the engine.
+const writerPace = 25 * time.Millisecond
+
+// MixedReadWrite is experiment E12 (the concurrency experiment, not from
+// the paper): ranked-query throughput and latency of concurrent readers
+// while 0, 1 or 4 paced writers churn the store. Readers run the full
+// staged pipeline against pinned MVCC snapshots and acquire no locks, so
+// their numbers should stay within ~10% of the zero-writer baseline
+// whatever the writer count — the acceptance bar of the snapshot
+// refactor. (The pre-refactor engine took every shard's read lock plus
+// the global spatial lock per query, so a bulk writer or checkpoint
+// capture stalled the whole read path.)
+func MixedReadWrite(n int, writerCounts []int, readers int, window time.Duration) (*Table, error) {
+	t := &Table{
+		ID: "E12",
+		Caption: fmt.Sprintf(
+			"mixed read/write: %d snapshot readers (top-10 ranked query, corpus %d) vs paced writers",
+			readers, n),
+		Header: []string{"images", "writers", "writes/s", "reads/s", "us/query", "vs 0 writers"},
+	}
+	ctx := context.Background()
+	gen := workload.NewGenerator(workload.Config{
+		Seed: DefaultSeed + 12, Vocabulary: 32, Objects: 8,
+	})
+	scenes := gen.Dataset(n)
+	items := make([]imagedb.BulkItem, n)
+	for i, s := range scenes {
+		items[i] = imagedb.BulkItem{ID: fmt.Sprintf("img%06d", i), Image: s}
+	}
+	// At least 16 shards whatever the host: shard count never changes
+	// results, and a writer's copy-on-write cost is one shard's maps —
+	// a single-shard layout (GOMAXPROCS=1) would bill each mutation the
+	// whole corpus.
+	db := imagedb.NewSharded(max(runtime.GOMAXPROCS(0), 16))
+	if err := db.BulkInsert(ctx, items, 0); err != nil {
+		return nil, fmt.Errorf("E12: %w", err)
+	}
+	query := gen.SubsetQuery(scenes[n/2], 4)
+	churn := gen.Scene() // the image writers insert and delete
+
+	baseline := 0.0
+	for _, wc := range writerCounts {
+		readsPerSec, writesPerSec, usPerQuery, err := mixedPoint(ctx, db, query, churn, wc, readers, window)
+		if err != nil {
+			return nil, fmt.Errorf("E12 (%d writers): %w", wc, err)
+		}
+		if baseline == 0 {
+			baseline = readsPerSec
+		}
+		t.AddRow(FmtInt(n), FmtInt(wc),
+			fmt.Sprintf("%.0f", writesPerSec),
+			fmt.Sprintf("%.0f", readsPerSec),
+			fmt.Sprintf("%.0f", usPerQuery),
+			fmt.Sprintf("%.2fx", readsPerSec/baseline))
+	}
+	return t, nil
+}
+
+// mixedPoint measures one (writers, readers) cell: readers issue ranked
+// top-10 queries for the window while each writer insert-then-deletes a
+// fresh id every writerPace.
+func mixedPoint(ctx context.Context, db *imagedb.DB, query, churn core.Image,
+	writers, readers int, window time.Duration) (readsPerSec, writesPerSec, usPerQuery float64, err error) {
+	stop := make(chan struct{})
+	var errMu sync.Mutex
+	var firstErr error
+	record := func(e error) {
+		if e == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = e
+		}
+		errMu.Unlock()
+	}
+
+	var writes atomic.Int64
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			tick := time.NewTicker(writerPace)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				id := fmt.Sprintf("churn-%d-%d", w, i)
+				if e := db.Insert(id, "", churn); e != nil {
+					record(e)
+					return
+				}
+				if e := db.Delete(id); e != nil {
+					record(e)
+					return
+				}
+				writes.Add(2)
+			}
+		}(w)
+	}
+
+	var ops atomic.Int64
+	start := time.Now()
+	deadline := start.Add(window)
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for time.Now().Before(deadline) {
+				page, e := db.Query(ctx, imagedb.NewQuery(query), imagedb.WithK(10))
+				if e != nil {
+					record(e)
+					return
+				}
+				if len(page.Hits) == 0 {
+					record(fmt.Errorf("ranked query returned no hits"))
+					return
+				}
+				ops.Add(1)
+			}
+		}()
+	}
+	readerWG.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	writerWG.Wait()
+	if firstErr != nil {
+		return 0, 0, 0, firstErr
+	}
+	reads := ops.Load()
+	if reads == 0 || elapsed <= 0 {
+		return 0, 0, 0, fmt.Errorf("no reads completed in %v", window)
+	}
+	readsPerSec = float64(reads) / elapsed.Seconds()
+	writesPerSec = float64(writes.Load()) / elapsed.Seconds()
+	usPerQuery = float64(readers) * elapsed.Seconds() * 1e6 / float64(reads)
+	return readsPerSec, writesPerSec, usPerQuery, nil
 }

@@ -19,13 +19,11 @@ type BulkItem struct {
 // BulkInsert converts many images in parallel (the conversions are
 // independent and CPU-bound, the expensive part of an insert) and then
 // installs them. It is all-or-nothing: if any item fails validation,
-// conversion or collides with an existing id, nothing is inserted. To
-// make that atomic across partitions it holds every shard's write lock
-// (acquired in ring order, so it cannot deadlock with single-shard
-// writers) for the duration of the install phase: map installs, label
-// indexing and the batch's R-tree insertions — conversion and image
-// cloning happen before any lock is taken. parallelism <= 0 means
-// GOMAXPROCS.
+// conversion or collides with an existing id, nothing is inserted. The
+// whole batch lands in one published version (a single epoch bump), so
+// a concurrent reader sees either none of it or all of it — conversion
+// and image cloning happen before the writer lock is taken.
+// parallelism <= 0 means GOMAXPROCS.
 func (db *DB) BulkInsert(ctx context.Context, items []BulkItem, parallelism int) error {
 	if len(items) == 0 {
 		return nil
@@ -103,33 +101,24 @@ feed:
 	return sts, nil
 }
 
-// installBulk is the critical section of a bulk insert: with every shard
-// write lock held in ring order, it re-checks for id collisions and then
-// installs the whole batch or nothing.
+// installBulk is the critical section of a bulk insert: under the writer
+// mutex it re-checks for id collisions against the current version and
+// then builds and publishes one next version holding the whole batch —
+// or publishes nothing.
 func (db *DB) installBulk(sts []*stored) error {
-	for _, sh := range db.shards {
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.current.Load()
 	for _, st := range sts {
-		if _, exists := db.shardFor(st.ID).entries[st.ID]; exists {
+		if _, exists := cur.lookup(st.ID); exists {
 			return fmt.Errorf("bulk insert %q: %w", st.ID, ErrDuplicate)
 		}
 	}
+	m := beginTxn(cur)
 	for _, st := range sts {
 		st.seq = db.seq.Add(1)
-		sh := db.shardFor(st.ID)
-		sh.entries[st.ID] = st
-		sh.indexLabels(&st.Entry)
+		m.add(st)
 	}
-	// One spatial critical section for the whole batch, so a concurrent
-	// SearchRegion sees either none or all of it.
-	db.spatialMu.Lock()
-	for _, st := range sts {
-		for _, o := range st.Image.Objects {
-			db.spatial.Insert(spatialID(st.ID, o.Label), o.Box)
-		}
-	}
-	db.spatialMu.Unlock()
+	db.publish(m)
 	return nil
 }

@@ -4,12 +4,19 @@
 // search, pluggable scoring methods (BE-LCS, transform-invariant BE-LCS, or
 // the clique-based type-i baselines) and JSON persistence.
 //
-// The store is sharded: entries are partitioned by id hash across N shards
-// (default GOMAXPROCS), each with its own lock and inverted label index, so
-// writers on different shards never contend. Ranked search scores shard
-// snapshots on a worker pool into per-worker bounded top-K min-heaps
-// (O(n log K), O(K) space per worker) and merges them into the exact
-// ranking a full sort would produce; see topk.go and DESIGN.md section 4.
+// The store is MVCC: every version of the database — sharded entry maps,
+// inverted label indexes and the spatial R-tree — is an immutable
+// snapshot published through one atomic pointer with a monotonically
+// increasing epoch. Mutations serialise on a writer mutex, build the
+// next version copy-on-write (sharing all untouched structure) and
+// publish it in a single store; queries pin an epoch once and run the
+// whole staged pipeline with zero lock acquisitions on a frozen,
+// consistent view. See snapshot.go and DESIGN.md section 6.
+//
+// Ranked search scores the pinned version on a worker pool into
+// per-worker bounded top-K min-heaps (O(n log K), O(K) space per worker)
+// and merges them into the exact ranking a full sort would produce; see
+// topk.go and DESIGN.md section 4.
 package imagedb
 
 import (
@@ -22,7 +29,6 @@ import (
 
 	"bestring/internal/baseline/typesim"
 	"bestring/internal/core"
-	"bestring/internal/rtree"
 	"bestring/internal/similarity"
 )
 
@@ -42,19 +48,23 @@ var (
 	ErrEmptyID   = errors.New("empty image id")
 )
 
-// DB is an in-memory symbolic-image database, partitioned into shards.
-// The zero value is not ready; use New or NewSharded. All methods are safe
-// for concurrent use.
+// DB is an in-memory symbolic-image database, partitioned into shards
+// and versioned MVCC-style: reads run lock-free against the atomically
+// published current snapshot, writes serialise on writeMu and publish
+// the next copy-on-write version. The zero value is not ready; use New
+// or NewSharded. All methods are safe for concurrent use.
 type DB struct {
-	shards []*shard
-	// seq issues global insertion sequence numbers; shards order their
-	// entries by seq to reconstruct insertion order without a global lock.
+	// writeMu serialises mutations. Readers never take it (or any other
+	// lock): they load `current` once and traverse frozen data.
+	writeMu sync.Mutex
+	current atomic.Pointer[snapshot]
+	// history retains recent versions so pagination cursors can re-pin
+	// the epoch their first page ran against; see epochList.
+	history atomic.Pointer[epochList]
+	retain  int // guarded by writeMu
+	// seq issues global insertion sequence numbers; entries order by seq
+	// to reconstruct insertion order across shards.
 	seq atomic.Uint64
-	// spatial indexes every stored icon MBR (Guttman R-tree); item ids are
-	// imageID + "\x00" + label. It is shared across shards under its own
-	// lock, acquired after a shard lock and never the other way around.
-	spatialMu sync.RWMutex
-	spatial   *rtree.Tree
 }
 
 // New returns an empty database with one shard per GOMAXPROCS.
@@ -66,48 +76,16 @@ func NewSharded(n int) *DB {
 	if n <= 0 {
 		n = defaultShards()
 	}
-	db := &DB{
-		shards:  make([]*shard, n),
-		spatial: rtree.New(rtree.DefaultMaxEntries),
-	}
-	for i := range db.shards {
-		db.shards[i] = newShard()
-	}
+	db := &DB{retain: DefaultSnapshotRetention}
+	first := emptySnapshot(n)
+	db.current.Store(first)
+	db.history.Store(&epochList{snaps: []*snapshot{first}})
 	return db
 }
 
-// indexSpatial registers an entry's icons in the shared R-tree. Callers
-// hold the entry's shard lock, which serialises spatial updates per image.
-func (db *DB) indexSpatial(e *Entry) {
-	db.spatialMu.Lock()
-	defer db.spatialMu.Unlock()
-	for _, o := range e.Image.Objects {
-		db.spatial.Insert(spatialID(e.ID, o.Label), o.Box)
-	}
-}
-
-// unindexSpatial removes an entry's icons from the shared R-tree.
-func (db *DB) unindexSpatial(e *Entry) {
-	db.spatialMu.Lock()
-	defer db.spatialMu.Unlock()
-	for _, o := range e.Image.Objects {
-		db.spatial.Delete(spatialID(e.ID, o.Label), o.Box)
-	}
-}
-
-// reindexSpatial swaps an image's icons in the R-tree inside one critical
-// section, so a concurrent SearchRegion never observes the image with its
-// entries half removed.
-func (db *DB) reindexSpatial(old, next *Entry) {
-	db.spatialMu.Lock()
-	defer db.spatialMu.Unlock()
-	for _, o := range old.Image.Objects {
-		db.spatial.Delete(spatialID(old.ID, o.Label), o.Box)
-	}
-	for _, o := range next.Image.Objects {
-		db.spatial.Insert(spatialID(next.ID, o.Label), o.Box)
-	}
-}
+// Epoch returns the epoch of the current version — the value a query
+// issued now would pin. It increases by one per published mutation.
+func (db *DB) Epoch() uint64 { return db.current.Load().epoch }
 
 // spatialID keys one icon of one image in the R-tree. Labels cannot
 // contain NUL (they come from validated images), so the join is unambiguous.
@@ -139,72 +117,57 @@ func (db *DB) Insert(id, name string, img core.Image) error {
 // the tail of Insert, split out so the durable store (which converts once
 // during pre-log validation) does not pay conversion twice.
 func (db *DB) insertConverted(id, name string, img core.Image, be core.BEString) error {
-	sh := db.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, exists := sh.entries[id]; exists {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.current.Load()
+	if _, exists := cur.lookup(id); exists {
 		return fmt.Errorf("insert %q: %w", id, ErrDuplicate)
 	}
-	st := &stored{
+	m := beginTxn(cur)
+	m.add(&stored{
 		Entry: Entry{ID: id, Name: name, Image: img.Clone(), BE: be},
 		seq:   db.seq.Add(1),
-	}
-	sh.entries[id] = st
-	sh.indexLabels(&st.Entry)
-	db.indexSpatial(&st.Entry)
+	})
+	db.publish(m)
 	return nil
 }
 
 // Delete removes the image with the given id.
 func (db *DB) Delete(id string) error {
-	sh := db.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	st, exists := sh.entries[id]
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.current.Load()
+	st, exists := cur.lookup(id)
 	if !exists {
 		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
 	}
-	sh.unindexLabels(&st.Entry)
-	db.unindexSpatial(&st.Entry)
-	delete(sh.entries, id)
+	m := beginTxn(cur)
+	m.remove(st)
+	db.publish(m)
 	return nil
 }
 
 // Has reports whether an image with the given id is stored — existence
-// without Get's deep copy of the entry.
+// without Get's deep copy of the entry. Lock-free.
 func (db *DB) Has(id string) bool {
-	sh := db.shardFor(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	_, ok := sh.entries[id]
+	_, ok := db.current.Load().lookup(id)
 	return ok
 }
 
-// Get returns a copy of the entry with the given id.
+// Get returns a copy of the entry with the given id. Lock-free.
 func (db *DB) Get(id string) (Entry, bool) {
-	sh := db.shardFor(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	st, ok := sh.entries[id]
+	st, ok := db.current.Load().lookup(id)
 	if !ok {
 		return Entry{}, false
 	}
 	return copyEntry(&st.Entry), true
 }
 
-// Len returns the number of stored images (point-in-time across shards).
-func (db *DB) Len() int {
-	n := 0
-	db.rlockAll()
-	for _, sh := range db.shards {
-		n += len(sh.entries)
-	}
-	db.runlockAll()
-	return n
-}
+// Len returns the number of stored images in the current version.
+func (db *DB) Len() int { return db.current.Load().count }
 
 // IDs returns the stored ids in insertion order.
-func (db *DB) IDs() []string { return db.orderedIDs() }
+func (db *DB) IDs() []string { return db.current.Load().orderedIDsMatching(nil) }
 
 // InsertObject adds an object to a stored image, reindexing it.
 func (db *DB) InsertObject(id string, o core.Object) error {
@@ -232,13 +195,13 @@ func (db *DB) DeleteObject(id, label string) error {
 
 // updateImage applies fn to the stored image and reindexes; the update is
 // rejected if the result no longer converts. The entry is replaced, never
-// mutated: search snapshots hold *stored pointers outside any lock, so a
-// published entry must stay immutable (copy-on-write).
+// mutated: published snapshots hold *stored pointers, so an entry must
+// stay immutable once any version references it (copy-on-write).
 func (db *DB) updateImage(id string, fn func(core.Image) core.Image) error {
-	sh := db.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	st, ok := sh.entries[id]
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.current.Load()
+	st, ok := cur.lookup(id)
 	if !ok {
 		return fmt.Errorf("update %q: %w", id, ErrNotFound)
 	}
@@ -251,10 +214,9 @@ func (db *DB) updateImage(id string, fn func(core.Image) core.Image) error {
 		Entry: Entry{ID: id, Name: st.Name, Image: img, BE: be},
 		seq:   st.seq,
 	}
-	sh.unindexLabels(&st.Entry)
-	sh.entries[id] = next
-	sh.indexLabels(&next.Entry)
-	db.reindexSpatial(&st.Entry, &next.Entry)
+	m := beginTxn(cur)
+	m.replace(st, next)
+	db.publish(m)
 	return nil
 }
 
@@ -262,12 +224,12 @@ func (db *DB) updateImage(id string, fn func(core.Image) core.Image) error {
 // (image, BE-string) pair, keeping the entry's insertion sequence. The
 // durable store uses it after logging an object mutation it has already
 // simulated and converted; direct callers should go through updateImage,
-// which recomputes under the shard lock.
+// which recomputes under the writer lock.
 func (db *DB) replaceImage(id string, img core.Image, be core.BEString) error {
-	sh := db.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	st, ok := sh.entries[id]
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.current.Load()
+	st, ok := cur.lookup(id)
 	if !ok {
 		return fmt.Errorf("update %q: %w", id, ErrNotFound)
 	}
@@ -275,10 +237,9 @@ func (db *DB) replaceImage(id string, img core.Image, be core.BEString) error {
 		Entry: Entry{ID: id, Name: st.Name, Image: img, BE: be},
 		seq:   st.seq,
 	}
-	sh.unindexLabels(&st.Entry)
-	sh.entries[id] = next
-	sh.indexLabels(&next.Entry)
-	db.reindexSpatial(&st.Entry, &next.Entry)
+	m := beginTxn(cur)
+	m.replace(st, next)
+	db.publish(m)
 	return nil
 }
 

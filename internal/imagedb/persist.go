@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"bestring/internal/core"
 	"bestring/internal/fsutil"
 )
 
@@ -20,13 +21,16 @@ type snapshotJSON struct {
 const snapshotVersion = 1
 
 // Save writes the database as JSON. Entries appear in insertion order.
+// The snapshot is pinned once, so the bytes written are one state the
+// database actually passed through (never half of a bulk batch), and
+// concurrent writers are never blocked — Save holds no lock at all.
 func (db *DB) Save(w io.Writer) error {
-	return saveEntries(w, db.orderedEntries())
+	return saveEntries(w, db.current.Load().orderedEntries())
 }
 
 // saveEntries writes a versioned JSON snapshot of the given entries —
 // the shared encoding behind DB.Save and the store's checkpointer (which
-// captures its entry list under the writer lock and encodes outside it).
+// pins a version and encodes entirely outside the writer lock).
 func saveEntries(w io.Writer, entries []Entry) error {
 	snap := snapshotJSON{Version: snapshotVersion, Entries: entries}
 	enc := json.NewEncoder(w)
@@ -37,10 +41,40 @@ func saveEntries(w io.Writer, entries []Entry) error {
 	return nil
 }
 
-// Load reads a database snapshot written by Save. Every entry's BE-string
-// is re-derived from its image and cross-checked against the stored one,
-// so a corrupted or hand-edited snapshot cannot desynchronise index and
-// data.
+// loadEntries validates and installs a decoded snapshot as one published
+// version: every entry's BE-string is re-derived from its image and
+// cross-checked against the stored one, so a corrupted or hand-edited
+// snapshot cannot desynchronise index and data. One version for the
+// whole load keeps recovery linear — per-entry Insert would copy the
+// target shard once per entry.
+func (db *DB) loadEntries(entries []Entry, wrap string) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	m := beginTxn(db.current.Load())
+	for _, e := range entries {
+		if e.ID == "" {
+			return fmt.Errorf("%s: %w", wrap, ErrEmptyID)
+		}
+		if _, exists := m.shards[shardIndex(e.ID, len(m.shards))].entries[e.ID]; exists {
+			return fmt.Errorf("%s: insert %q: %w", wrap, e.ID, ErrDuplicate)
+		}
+		be, err := core.Convert(e.Image)
+		if err != nil {
+			return fmt.Errorf("%s: insert %q: %w", wrap, e.ID, err)
+		}
+		if len(e.BE.X) > 0 && !be.Equal(e.BE) {
+			return fmt.Errorf("%s: entry %q: stored BE-string does not match its image", wrap, e.ID)
+		}
+		m.add(&stored{
+			Entry: Entry{ID: e.ID, Name: e.Name, Image: e.Image.Clone(), BE: be},
+			seq:   db.seq.Add(1),
+		})
+	}
+	db.publish(m)
+	return nil
+}
+
+// Load reads a database snapshot written by Save.
 func Load(r io.Reader) (*DB, error) {
 	var snap snapshotJSON
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
@@ -50,14 +84,8 @@ func Load(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("load image db: unsupported snapshot version %d", snap.Version)
 	}
 	db := New()
-	for _, e := range snap.Entries {
-		if err := db.Insert(e.ID, e.Name, e.Image); err != nil {
-			return nil, fmt.Errorf("load image db: %w", err)
-		}
-		fresh, _ := db.Get(e.ID)
-		if len(e.BE.X) > 0 && !fresh.BE.Equal(e.BE) {
-			return nil, fmt.Errorf("load image db: entry %q: stored BE-string does not match its image", e.ID)
-		}
+	if err := db.loadEntries(snap.Entries, "load image db"); err != nil {
+		return nil, err
 	}
 	return db, nil
 }
@@ -66,7 +94,7 @@ func Load(r io.Reader) (*DB, error) {
 // faster than JSON for large collections; Load/Save remain the
 // interchange format.
 func (db *DB) SaveGob(w io.Writer) error {
-	snap := snapshotJSON{Version: snapshotVersion, Entries: db.orderedEntries()}
+	snap := snapshotJSON{Version: snapshotVersion, Entries: db.current.Load().orderedEntries()}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("save image db (gob): %w", err)
 	}
@@ -84,14 +112,8 @@ func LoadGob(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("load image db (gob): unsupported snapshot version %d", snap.Version)
 	}
 	db := New()
-	for _, e := range snap.Entries {
-		if err := db.Insert(e.ID, e.Name, e.Image); err != nil {
-			return nil, fmt.Errorf("load image db (gob): %w", err)
-		}
-		fresh, _ := db.Get(e.ID)
-		if len(e.BE.X) > 0 && !fresh.BE.Equal(e.BE) {
-			return nil, fmt.Errorf("load image db (gob): entry %q: stored BE-string does not match its image", e.ID)
-		}
+	if err := db.loadEntries(snap.Entries, "load image db (gob)"); err != nil {
+		return nil, err
 	}
 	return db, nil
 }

@@ -30,8 +30,13 @@ type Page struct {
 	// MinScore and the cursor, before K/Offset truncation.
 	Total int `json:"total"`
 	// NextCursor resumes the ranking after the last hit of this page;
-	// empty when the ranking is exhausted.
+	// empty when the ranking is exhausted. The cursor pins this page's
+	// epoch, so (while the version stays retained) later pages read the
+	// exact same state and can neither skip nor duplicate a hit under
+	// concurrent writers.
 	NextCursor string `json:"nextCursor,omitempty"`
+	// Epoch identifies the immutable version this page was computed from.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // candidate is one image that survived the narrowing stages, with its
@@ -50,6 +55,11 @@ type candidate struct {
 // copy, so the Query value can be reused. The ranking is deterministic:
 // score descending, id ascending on ties, whatever the shard count or
 // parallelism.
+//
+// The whole pipeline runs against one pinned version of the store: an
+// epoch is resolved once (the cursor's epoch when resuming a paginated
+// query and that version is still retained, the current version
+// otherwise) and no lock is acquired after that.
 func (db *DB) Query(ctx context.Context, q *Query, opts ...QueryOption) (*Page, error) {
 	page, err := db.execute(ctx, q.clone().apply(opts))
 	if err != nil {
@@ -64,13 +74,27 @@ const iterBatch = 256
 // QueryIter streams the query's results in ranking order. It pages
 // through the store with cursors (batches of iterBatch), so memory
 // stays O(batch) even when the ranking is unbounded; WithK caps the
-// total results yielded. Each batch snapshots the store point-in-time;
-// across batch boundaries the cursor guarantees already-yielded results
-// never reappear, but entries inserted mid-iteration may be picked up
-// by later batches if they rank past the cursor. On error the sequence
-// yields a zero Hit with the error and stops.
+// total results yielded. The iterator pins one version of the store
+// when it starts and streams every batch from it, so the sequence is a
+// consistent point-in-time ranking: concurrent writers can neither
+// remove a hit from the stream nor inject one mid-iteration. On error
+// the sequence yields a zero Hit with the error and stops.
 func (db *DB) QueryIter(ctx context.Context, q *Query, opts ...QueryOption) iter.Seq2[Hit, error] {
 	spec := q.clone().apply(opts)
+	return func(yield func(Hit, error) bool) {
+		snap, cur, err := db.resolve(spec)
+		if err != nil {
+			yield(Hit{}, fmt.Errorf("query: %w", err))
+			return
+		}
+		iterOn(ctx, snap, spec, cur)(yield)
+	}
+}
+
+// iterOn streams a query's results from one pinned version — the shared
+// engine behind DB.QueryIter and Snapshot.QueryIter. cur is the decoded
+// resume position of the spec's initial cursor, if any.
+func iterOn(ctx context.Context, snap *snapshot, spec *Query, cur *cursorPos) iter.Seq2[Hit, error] {
 	return func(yield func(Hit, error) bool) {
 		s := spec.clone()
 		unlimited := s.k == 0
@@ -81,7 +105,7 @@ func (db *DB) QueryIter(ctx context.Context, q *Query, opts ...QueryOption) iter
 			if !unlimited && remaining < step.k {
 				step.k = remaining
 			}
-			p, err := db.execute(ctx, step)
+			p, err := executeOn(ctx, snap, step, cur)
 			if err != nil {
 				yield(Hit{}, fmt.Errorf("query: %w", err))
 				return
@@ -99,14 +123,56 @@ func (db *DB) QueryIter(ctx context.Context, q *Query, opts ...QueryOption) iter
 			if p.NextCursor == "" {
 				return
 			}
-			s.cursor, s.offset = p.NextCursor, 0
+			c, err := decodeCursor(p.NextCursor)
+			if err != nil {
+				yield(Hit{}, fmt.Errorf("query: %w", err))
+				return
+			}
+			cur, s.offset = &c, 0
 		}
 	}
 }
 
-// execute runs the staged pipeline. Errors are returned unprefixed; the
-// public entry points (Query, Search, SearchDSL) add their own context.
+// resolve pins the version a query spec should run against — the epoch
+// its cursor carries when that version is still retained, the current
+// version otherwise — and returns the decoded cursor so the pipeline
+// does not parse the token twice. One or two atomic loads, no locks. A
+// sticky builder error or an undecodable cursor surfaces here so the
+// pipeline never starts on a broken spec.
+func (db *DB) resolve(q *Query) (*snapshot, *cursorPos, error) {
+	if q.err != nil {
+		return nil, nil, q.err
+	}
+	cur, err := q.decodedCursor()
+	if err != nil {
+		return nil, nil, err
+	}
+	if cur != nil && cur.Epoch != 0 {
+		if pinned := db.findEpoch(cur.Epoch); pinned != nil {
+			return pinned, cur, nil
+		}
+	}
+	return db.current.Load(), cur, nil
+}
+
+// execute pins a version and runs the staged pipeline on it. Errors are
+// returned unprefixed; the public entry points (Query, Search,
+// SearchDSL) add their own context.
 func (db *DB) execute(ctx context.Context, q *Query) (*Page, error) {
+	snap, cur, err := db.resolve(q)
+	if err != nil {
+		return nil, err
+	}
+	return executeOn(ctx, snap, q, cur)
+}
+
+// executeOn runs the staged pipeline against one pinned, immutable
+// version; cur is the query's already-decoded cursor (nil when none).
+// From here on the query acquires no locks: every stage — label
+// narrowing, region probe, predicate evaluation, top-K scoring — reads
+// frozen maps and a frozen tree, so the view is consistent by
+// construction and concurrent writers cost readers nothing.
+func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*Page, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
@@ -136,15 +202,6 @@ func (db *DB) execute(ctx context.Context, q *Query) (*Page, error) {
 		}
 	}
 
-	var cur *cursorPos
-	if q.cursor != "" {
-		c, err := decodeCursor(q.cursor)
-		if err != nil {
-			return nil, err
-		}
-		cur = &c
-	}
-
 	// Stage 1 — inverted label index. A Where clause narrows to images
 	// containing at least one of its labels (an image satisfying any
 	// clause must), otherwise an explicit LabelPrefilter narrows to
@@ -161,25 +218,25 @@ func (db *DB) execute(ctx context.Context, q *Query) (*Page, error) {
 		labels = queryLabels(img)
 		prefilter = true
 	}
-	snapshot := db.snapshot(labels, prefilter)
+	cands0 := snap.collect(labels, prefilter)
 
 	// Stage 2 — R-tree region probe: keep images with an icon in the
 	// region before any per-image work.
 	if q.region != nil {
-		ids := db.regionIDSet(*q.region, q.regionLabel)
-		kept := snapshot[:0]
-		for _, st := range snapshot {
+		ids := snap.regionIDSet(*q.region, q.regionLabel)
+		kept := cands0[:0]
+		for _, st := range cands0 {
 			if ids[st.ID] {
 				kept = append(kept, st)
 			}
 		}
-		snapshot = kept
+		cands0 = kept
 	}
 
 	// Stage 3 — spatial-predicate evaluation. With a ranked component
 	// the clause is a filter (default: every constraint must hold);
 	// without one the satisfied fraction becomes the ranking score.
-	cands := make([]candidate, 0, len(snapshot))
+	cands := make([]candidate, 0, len(cands0))
 	var whereByID map[string]candidate
 	if q.dsl != nil {
 		min := q.whereMin
@@ -190,8 +247,8 @@ func (db *DB) execute(ctx context.Context, q *Query) (*Page, error) {
 				min = 0 // any positive fraction, the SearchDSL contract
 			}
 		}
-		whereByID = make(map[string]candidate, len(snapshot))
-		for i, st := range snapshot {
+		whereByID = make(map[string]candidate, len(cands0))
+		for i, st := range cands0 {
 			if i&1023 == 0 {
 				if err := ctx.Err(); err != nil {
 					return nil, err
@@ -225,7 +282,7 @@ func (db *DB) execute(ctx context.Context, q *Query) (*Page, error) {
 			cands = kept
 		}
 	} else {
-		for _, st := range snapshot {
+		for _, st := range cands0 {
 			cands = append(cands, candidate{st: st})
 		}
 	}
@@ -234,7 +291,7 @@ func (db *DB) execute(ctx context.Context, q *Query) (*Page, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return &Page{Hits: []Hit{}}, nil
+		return &Page{Hits: []Hit{}, Epoch: snap.epoch}, nil
 	}
 
 	// Stage 4 — ranked scoring over the survivors, on the same bounded
@@ -326,7 +383,7 @@ feed:
 		ranked = ranked[:q.k]
 	}
 
-	page := &Page{Hits: make([]Hit, len(ranked)), Total: total}
+	page := &Page{Hits: make([]Hit, len(ranked)), Total: total, Epoch: snap.epoch}
 	for i, r := range ranked {
 		h := Hit{ID: r.ID, Name: r.Name, Score: r.Score}
 		if q.dsl != nil {
@@ -337,7 +394,7 @@ feed:
 		page.Hits[i] = h
 	}
 	if q.k > 0 && len(page.Hits) == q.k && total > q.offset+q.k {
-		page.NextCursor = encodeCursor(ranked[len(ranked)-1])
+		page.NextCursor = encodeCursor(ranked[len(ranked)-1], snap.epoch)
 	}
 	return page, nil
 }

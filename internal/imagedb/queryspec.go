@@ -114,8 +114,12 @@ func WithOffset(n int) QueryOption {
 }
 
 // WithCursor resumes a paginated query after the position encoded in a
-// previous Page.NextCursor. Results already delivered never reappear,
-// even when entries are inserted or deleted between pages.
+// previous Page.NextCursor. The cursor pins the epoch its page was
+// computed from, so while that version stays retained the page sequence
+// is exactly the pinned version's ranking (no skips, no duplicates,
+// whatever concurrent writers do); once it ages out, the query falls
+// back to the current version and results already delivered still never
+// reappear.
 func WithCursor(c string) QueryOption {
 	return func(q *Query) { q.cursor = c }
 }
@@ -221,25 +225,43 @@ func WithLabelPrefilter(on bool) QueryOption {
 }
 
 // cursorPos is the decoded pagination cursor: the ranking position
-// (score, id) of the last delivered result. The next page admits only
-// results strictly worse in the canonical order, which is what keeps
-// pagination stable while the store mutates: already-delivered results
-// cannot reappear, and entries at or above the boundary inserted later
-// are skipped rather than shifting the page.
+// (score, id) of the last delivered result, plus the epoch of the
+// version the page was computed from. Resuming re-pins that version
+// while it stays retained (see SetSnapshotRetention), making page sets
+// exact — no skips, no duplicates — under concurrent writers. The
+// admission rule (only results strictly worse in the canonical order)
+// additionally holds on whatever version serves the next page, so even
+// after the epoch ages out, already-delivered results cannot reappear.
+// Epoch 0 means "no pin" (a cursor minted before epochs existed).
 type cursorPos struct {
 	Score float64 `json:"s"`
 	ID    string  `json:"id"`
+	Epoch uint64  `json:"e,omitempty"`
 }
 
 // encodeCursor renders a resume position as an opaque URL-safe token.
 // A position that does not marshal (a NaN score from a custom scorer)
 // yields no cursor rather than a broken one.
-func encodeCursor(last Result) string {
-	raw, err := json.Marshal(cursorPos{Score: last.Score, ID: last.ID})
+func encodeCursor(last Result, epoch uint64) string {
+	raw, err := json.Marshal(cursorPos{Score: last.Score, ID: last.ID, Epoch: epoch})
 	if err != nil {
 		return ""
 	}
 	return base64.RawURLEncoding.EncodeToString(raw)
+}
+
+// decodedCursor parses the query's cursor token once (nil when the
+// query has none); resolve and the Snapshot entry points thread the
+// result into executeOn so the hot path never parses a token twice.
+func (q *Query) decodedCursor() (*cursorPos, error) {
+	if q.cursor == "" {
+		return nil, nil
+	}
+	c, err := decodeCursor(q.cursor)
+	if err != nil {
+		return nil, err
+	}
+	return &c, nil
 }
 
 // decodeCursor parses a token produced by encodeCursor.

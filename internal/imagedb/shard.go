@@ -2,62 +2,17 @@ package imagedb
 
 import (
 	"runtime"
-	"sort"
-	"sync"
 )
 
-// stored is one entry as kept inside a shard: the public Entry plus the
-// global insertion sequence number used to reconstruct insertion order
-// across shards. A stored entry is immutable once published: search
-// snapshots read *stored pointers outside any lock, so updates replace
-// the entry (copy-on-write in updateImage) rather than mutating it.
+// stored is one entry as kept inside a shard view: the public Entry plus
+// the global insertion sequence number used to reconstruct insertion
+// order across shards. A stored entry is immutable once published: any
+// number of snapshots reference *stored pointers concurrently, so
+// updates replace the entry (copy-on-write in updateImage) rather than
+// mutating it.
 type stored struct {
 	Entry
 	seq uint64
-}
-
-// shard is one partition of the database. Each shard owns its entries and
-// its slice of the inverted label index under an independent lock, so
-// inserts and deletes on different shards never contend.
-type shard struct {
-	mu      sync.RWMutex
-	entries map[string]*stored
-	// labels is this shard's slice of the inverted label index:
-	// icon label -> image ids stored in this shard.
-	labels map[string]map[string]bool
-}
-
-func newShard() *shard {
-	return &shard{
-		entries: make(map[string]*stored),
-		labels:  make(map[string]map[string]bool),
-	}
-}
-
-// indexLabels registers an entry's icons in the shard's label index.
-// Callers hold the shard write lock.
-func (sh *shard) indexLabels(e *Entry) {
-	for _, o := range e.Image.Objects {
-		ids := sh.labels[o.Label]
-		if ids == nil {
-			ids = make(map[string]bool)
-			sh.labels[o.Label] = ids
-		}
-		ids[e.ID] = true
-	}
-}
-
-// unindexLabels removes an entry's icons from the shard's label index.
-// Callers hold the shard write lock.
-func (sh *shard) unindexLabels(e *Entry) {
-	for _, o := range e.Image.Objects {
-		if ids := sh.labels[o.Label]; ids != nil {
-			delete(ids, e.ID)
-			if len(ids) == 0 {
-				delete(sh.labels, o.Label)
-			}
-		}
-	}
 }
 
 // defaultShards sizes the shard ring to the machine.
@@ -65,138 +20,20 @@ func defaultShards() int {
 	return max(runtime.GOMAXPROCS(0), 1)
 }
 
-// shardFor routes an id to its shard (FNV-1a, inlined so the hot path of
-// every Insert/Get/Delete stays allocation-free).
-func (db *DB) shardFor(id string) *shard {
-	const offset32, prime32 = 2166136261, 16777619
-	h := uint32(offset32)
-	for i := 0; i < len(id); i++ {
-		h ^= uint32(id[i])
-		h *= prime32
-	}
-	return db.shards[h%uint32(len(db.shards))]
-}
-
-// rlockAll acquires every shard's read lock in ring order — the same
-// order BulkInsert takes write locks, so the two cannot deadlock — giving
-// the caller a point-in-time view of the whole store. Use for operations
-// that must not observe half of an all-or-nothing batch.
-func (db *DB) rlockAll() {
-	for _, sh := range db.shards {
-		sh.mu.RLock()
-	}
-}
-
-func (db *DB) runlockAll() {
-	for _, sh := range db.shards {
-		sh.mu.RUnlock()
-	}
-}
-
 // ShardCount returns the number of partitions of the store.
-func (db *DB) ShardCount() int { return len(db.shards) }
+func (db *DB) ShardCount() int { return len(db.current.Load().shards) }
 
 // Stats describes shard occupancy, for capacity monitoring.
 type Stats struct {
-	Shards   int   `json:"shards"`
-	Images   int   `json:"images"`
-	PerShard []int `json:"perShard"`
+	// Epoch identifies the version these counts were read from.
+	Epoch    uint64 `json:"epoch"`
+	Shards   int    `json:"shards"`
+	Images   int    `json:"images"`
+	PerShard []int  `json:"perShard"`
 }
 
-// Stats reports the entry count per shard (point-in-time across shards).
-func (db *DB) Stats() Stats {
-	s := Stats{Shards: len(db.shards), PerShard: make([]int, len(db.shards))}
-	db.rlockAll()
-	for i, sh := range db.shards {
-		s.PerShard[i] = len(sh.entries)
-		s.Images += s.PerShard[i]
-	}
-	db.runlockAll()
-	return s
-}
-
-// snapshot collects the current entries of every shard, optionally pruned
-// to images sharing at least one icon label with the query. The slice
-// order is arbitrary; callers that need determinism sort afterwards. All
-// shard read locks are held together (ring order), so the view is
-// point-in-time: a concurrent all-or-nothing BulkInsert is visible either
-// entirely or not at all, as under the old global lock. Stored entries
-// are immutable once published, so the returned pointers are safe to read
-// after the locks are released.
-func (db *DB) snapshot(query []string, prefilter bool) []*stored {
-	out := make([]*stored, 0, 64)
-	db.rlockAll()
-	defer db.runlockAll()
-	for _, sh := range db.shards {
-		if prefilter {
-			cand := make(map[string]bool)
-			for _, label := range query {
-				for id := range sh.labels[label] {
-					cand[id] = true
-				}
-			}
-			for id := range cand {
-				out = append(out, sh.entries[id])
-			}
-		} else {
-			for _, st := range sh.entries {
-				out = append(out, st)
-			}
-		}
-	}
-	return out
-}
-
-// orderedIDs returns every stored id sorted by global insertion sequence.
-func (db *DB) orderedIDs() []string { return db.orderedIDsMatching(nil) }
-
-// orderedIDsMatching returns the stored ids accepted by keep (nil keeps
-// all), sorted by global insertion sequence. The view is point-in-time
-// (all shard read locks held together); keep runs under them.
-func (db *DB) orderedIDsMatching(keep func(sh *shard, id string) bool) []string {
-	type idSeq struct {
-		id  string
-		seq uint64
-	}
-	all := make([]idSeq, 0, 64)
-	db.rlockAll()
-	for _, sh := range db.shards {
-		for id, st := range sh.entries {
-			if keep == nil || keep(sh, id) {
-				all = append(all, idSeq{id, st.seq})
-			}
-		}
-	}
-	db.runlockAll()
-	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
-	out := make([]string, len(all))
-	for i, v := range all {
-		out[i] = v.id
-	}
-	return out
-}
-
-// orderedEntries returns deep copies of every entry sorted by global
-// insertion sequence — the persistence iteration order. All shard read
-// locks are held together so a snapshot written by Save is a state the
-// database actually passed through (never half of a BulkInsert batch).
-func (db *DB) orderedEntries() []Entry {
-	type entrySeq struct {
-		e   Entry
-		seq uint64
-	}
-	all := make([]entrySeq, 0, 64)
-	db.rlockAll()
-	for _, sh := range db.shards {
-		for _, st := range sh.entries {
-			all = append(all, entrySeq{copyEntry(&st.Entry), st.seq})
-		}
-	}
-	db.runlockAll()
-	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
-	out := make([]Entry, len(all))
-	for i, v := range all {
-		out[i] = v.e
-	}
-	return out
-}
+// Stats reports the entry count per shard. The counts come from one
+// published version, so they are always mutually consistent — a
+// concurrent all-or-nothing BulkInsert is visible either entirely or
+// not at all.
+func (db *DB) Stats() Stats { return db.current.Load().stats() }

@@ -16,14 +16,12 @@ type RegionHit struct {
 	Box     core.Rect `json:"box"`
 }
 
-// regionHits probes the R-tree for icons intersecting the region,
-// optionally restricted to one label, in arbitrary order. It is the
-// region stage shared by SearchRegion and the query pipeline.
-func (db *DB) regionHits(region core.Rect, label string) []RegionHit {
-	db.spatialMu.RLock()
-	items := db.spatial.SearchIntersect(region)
-	db.spatialMu.RUnlock()
-
+// regionHits probes a version's R-tree for icons intersecting the
+// region, optionally restricted to one label, in arbitrary order. It is
+// the region stage shared by SearchRegion and the query pipeline.
+// Lock-free: the version's tree is frozen.
+func (s *snapshot) regionHits(region core.Rect, label string) []RegionHit {
+	items := s.spatial.SearchIntersect(region)
 	out := make([]RegionHit, 0, len(items))
 	for _, it := range items {
 		imageID, l := splitSpatialID(it.ID)
@@ -38,13 +36,23 @@ func (db *DB) regionHits(region core.Rect, label string) []RegionHit {
 // regionIDSet reduces the region probe to the set of image ids with at
 // least one matching icon — the candidate filter of the pipeline's
 // region stage.
-func (db *DB) regionIDSet(region core.Rect, label string) map[string]bool {
-	hits := db.regionHits(region, label)
+func (s *snapshot) regionIDSet(region core.Rect, label string) map[string]bool {
+	hits := s.regionHits(region, label)
 	ids := make(map[string]bool, len(hits))
 	for _, h := range hits {
 		ids[h.ImageID] = true
 	}
 	return ids
+}
+
+// sortRegionHits orders icon hits by (image id, label).
+func sortRegionHits(out []RegionHit) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ImageID != out[j].ImageID {
+			return out[i].ImageID < out[j].ImageID
+		}
+		return out[i].Label < out[j].Label
+	})
 }
 
 // SearchRegion returns every stored icon whose MBR intersects the region,
@@ -59,13 +67,19 @@ func (db *DB) SearchRegion(region core.Rect, label string) []RegionHit {
 	if !region.Valid() {
 		return nil
 	}
-	out := db.regionHits(region, label)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].ImageID != out[j].ImageID {
-			return out[i].ImageID < out[j].ImageID
-		}
-		return out[i].Label < out[j].Label
-	})
+	out := db.current.Load().regionHits(region, label)
+	sortRegionHits(out)
+	return out
+}
+
+// SearchRegion is the icon-level region probe against this pinned
+// version, sorted by (image id, label).
+func (sn *Snapshot) SearchRegion(region core.Rect, label string) []RegionHit {
+	if !region.Valid() {
+		return nil
+	}
+	out := sn.snap.regionHits(region, label)
+	sortRegionHits(out)
 	return out
 }
 
@@ -105,7 +119,7 @@ func (db *DB) SearchDSL(ctx context.Context, q query.Query, k int) ([]QueryResul
 // ImagesWithLabel returns the ids of images containing the icon label,
 // in insertion order (the inverted-index lookup, gathered across shards).
 func (db *DB) ImagesWithLabel(label string) []string {
-	return db.orderedIDsMatching(func(sh *shard, id string) bool {
-		return sh.labels[label][id]
+	return db.current.Load().orderedIDsMatching(func(sv *shardView, id string) bool {
+		return sv.labels[label][id]
 	})
 }

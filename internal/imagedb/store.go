@@ -408,8 +408,11 @@ func (s *Store) BulkInsert(ctx context.Context, items []BulkItem, parallelism in
 // Checkpoint writes a snapshot of the current state next to the log and
 // prunes WAL segments (and older snapshots) the snapshot has made
 // obsolete, bounding both recovery time and disk use. It blocks writers
-// only while the entry list is captured and the log rotated; encoding and
-// the file writes happen outside the writer lock.
+// only while an MVCC snapshot is pinned (one atomic load) and the log
+// rotated; entry-list extraction, encoding and the file writes all
+// happen outside the writer lock against the pinned immutable version —
+// a checkpoint of a huge store no longer stalls mutations (or any
+// reader) while it serialises.
 func (s *Store) Checkpoint() error { return s.checkpoint() }
 
 func (s *Store) checkpoint() (err error) {
@@ -426,7 +429,11 @@ func (s *Store) checkpoint() (err error) {
 		s.mu.Unlock()
 		return nil
 	}
-	entries := s.db.orderedEntries()
+	// Pin the version corresponding to appliedLSN. Mutations serialise
+	// on s.mu, so the current MVCC snapshot here is exactly the state
+	// the log reaches at lsn; being immutable, it can be read after the
+	// lock is released.
+	pinned := s.db.current.Load()
 	// Rotate so every record the snapshot covers sits in a sealed
 	// segment; sealed segments behind the snapshot become prunable.
 	rotErr := s.log.Rotate()
@@ -449,7 +456,7 @@ func (s *Store) checkpoint() (err error) {
 
 	path := filepath.Join(s.dir, snapshotName(lsn))
 	if err := fsutil.AtomicWriteFile(path, func(w io.Writer) error {
-		return saveEntries(w, entries)
+		return saveEntries(w, pinned.orderedEntries())
 	}); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
@@ -574,3 +581,12 @@ func (s *Store) Query(ctx context.Context, q *Query, opts ...QueryOption) (*Page
 func (s *Store) QueryIter(ctx context.Context, q *Query, opts ...QueryOption) iter.Seq2[Hit, error] {
 	return s.db.QueryIter(ctx, q, opts...)
 }
+
+// Snapshot pins the current version of the store for lock-free,
+// perfectly repeatable reads (see DB.Snapshot). The pinned view is
+// in-memory only; durability of the mutations it shows is governed by
+// the fsync policy as usual.
+func (s *Store) Snapshot() *Snapshot { return s.db.Snapshot() }
+
+// Epoch returns the epoch of the store's current version.
+func (s *Store) Epoch() uint64 { return s.db.Epoch() }

@@ -5,6 +5,12 @@
 // from every stored image are indexed so that location-constrained queries
 // ("an icon intersecting this region") narrow the candidate set before the
 // BE-string LCS ranking runs.
+//
+// The tree is persistent-capable: Clone returns an O(1) logical copy and
+// subsequent mutations on either tree copy only the nodes they touch
+// (path copying keyed by a per-node ownership tag), sharing the rest.
+// That is what lets imagedb publish each version of its spatial index as
+// an immutable snapshot that concurrent readers traverse without locks.
 package rtree
 
 import (
@@ -20,9 +26,19 @@ type Item struct {
 	Box core.Rect
 }
 
+// cowTag marks the generation that owns a node. A tree may mutate a node
+// in place only when the node's tag is the tree's own; any other node is
+// copied first, so clones sharing structure can never observe each
+// other's writes.
+type cowTag struct{ _ byte }
+
 // Tree is an R-tree over Items. The zero value is not ready; use New.
-// Tree is not safe for concurrent use; callers wrap it (imagedb does).
+// Tree is not safe for concurrent mutation; callers serialise writers
+// (imagedb does, under its writer mutex). Reads (SearchIntersect, Len)
+// are safe concurrently with each other, and — after Clone — concurrent
+// readers of one copy are isolated from mutations of the other.
 type Tree struct {
+	cow  *cowTag
 	root *node
 	max  int // maximum entries per node
 	min  int // minimum entries per node (max/2)
@@ -31,6 +47,7 @@ type Tree struct {
 
 // node is an internal or leaf R-tree node.
 type node struct {
+	cow     *cowTag
 	leaf    bool
 	entries []entry
 }
@@ -55,94 +72,110 @@ func New(maxEntries int) *Tree {
 	if maxEntries < 4 {
 		maxEntries = 4
 	}
+	cow := &cowTag{}
 	return &Tree{
-		root: &node{leaf: true},
+		cow:  cow,
+		root: &node{cow: cow, leaf: true},
 		max:  maxEntries,
 		min:  maxEntries / 2,
 	}
 }
 
+// Clone returns a logical copy in O(1): both trees share every node until
+// one of them mutates, at which point only the touched path is copied.
+// After Clone, neither tree owns the shared nodes (both receive fresh
+// ownership tags), so mutating either copy leaves the other bit-for-bit
+// intact. Clone itself is not safe concurrently with mutations of t.
+func (t *Tree) Clone() *Tree {
+	out := *t
+	t.cow = &cowTag{}
+	out.cow = &cowTag{}
+	return &out
+}
+
 // Len returns the number of stored items.
 func (t *Tree) Len() int { return t.size }
 
+// mutable returns n if the tree owns it, or an owned copy otherwise —
+// the single point where copy-on-write happens. The extra capacity slot
+// keeps the common append-then-maybe-split path allocation-stable.
+func (t *Tree) mutable(n *node) *node {
+	if n.cow == t.cow {
+		return n
+	}
+	c := &node{cow: t.cow, leaf: n.leaf}
+	c.entries = append(make([]entry, 0, len(n.entries)+1), n.entries...)
+	return c
+}
+
 // Insert adds an item.
 func (t *Tree) Insert(id string, box core.Rect) {
-	e := entry{box: box, item: Item{ID: id, Box: box}}
-	leaf := t.chooseLeaf(t.root, e)
-	leaf.entries = append(leaf.entries, e)
+	t.reinsert(entry{box: box, item: Item{ID: id, Box: box}})
 	t.size++
-	if len(leaf.entries) > t.max {
-		t.splitAndPropagate(leaf)
-	}
 }
 
-// chooseLeaf descends to the leaf needing least enlargement for e.
-func (t *Tree) chooseLeaf(n *node, e entry) *node {
-	for !n.leaf {
-		best := -1
-		bestEnlarge, bestArea := 0, 0
-		for i := range n.entries {
-			u := n.entries[i].box.Union(e.box)
-			enlarge := u.Area() - n.entries[i].box.Area()
-			area := n.entries[i].box.Area()
-			if best == -1 || enlarge < bestEnlarge ||
-				(enlarge == bestEnlarge && area < bestArea) {
-				best, bestEnlarge, bestArea = i, enlarge, area
-			}
-		}
-		n.entries[best].box = n.entries[best].box.Union(e.box)
-		n = n.entries[best].child
+// reinsert places an entry without touching the size counter (shared by
+// Insert and the condensation reinserts, which move existing items).
+func (t *Tree) reinsert(e entry) {
+	root, split := t.insert(t.root, e)
+	if split != nil {
+		root = &node{cow: t.cow, entries: []entry{
+			{box: mbrOf(root.entries), child: root},
+			*split,
+		}}
 	}
-	return n
+	t.root = root
 }
 
-// splitAndPropagate splits an overflowing node, walking up via re-search
-// of the parent chain (the tree has no parent pointers; paths are short).
-func (t *Tree) splitAndPropagate(n *node) {
-	for {
-		a, b := splitQuadratic(n.entries, t.min)
-		if n == t.root {
-			left := &node{leaf: n.leaf, entries: a}
-			right := &node{leaf: n.leaf, entries: b}
-			t.root = &node{entries: []entry{
-				{box: mbrOf(a), child: left},
-				{box: mbrOf(b), child: right},
-			}}
-			return
-		}
-		parent := t.findParent(t.root, n)
-		// Replace n's entry by the two halves.
-		right := &node{leaf: n.leaf, entries: b}
-		n.entries = a
-		for i := range parent.entries {
-			if parent.entries[i].child == n {
-				parent.entries[i].box = mbrOf(a)
-				break
-			}
-		}
-		parent.entries = append(parent.entries, entry{box: mbrOf(b), child: right})
-		if len(parent.entries) <= t.max {
-			return
-		}
-		n = parent
-	}
-}
-
-// findParent locates the parent of target (nil if target is the root or
-// absent).
-func (t *Tree) findParent(n, target *node) *node {
+// insert adds e in the subtree under n, copying every node it touches
+// that the tree does not own. It returns the (possibly copied) node and,
+// when the node overflowed and split, the entry for the new sibling the
+// caller must adopt.
+func (t *Tree) insert(n *node, e entry) (*node, *entry) {
+	n = t.mutable(n)
 	if n.leaf {
-		return nil
-	}
-	for i := range n.entries {
-		if n.entries[i].child == target {
-			return n
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.max {
+			return t.splitNode(n)
 		}
-		if p := t.findParent(n.entries[i].child, target); p != nil {
-			return p
+		return n, nil
+	}
+	best := chooseSubtree(n.entries, e.box)
+	child, split := t.insert(n.entries[best].child, e)
+	n.entries[best] = entry{box: mbrOf(child.entries), child: child}
+	if split != nil {
+		n.entries = append(n.entries, *split)
+		if len(n.entries) > t.max {
+			return t.splitNode(n)
 		}
 	}
-	return nil
+	return n, nil
+}
+
+// splitNode applies the quadratic split to an owned, overflowing node,
+// keeping the first group in place and returning the sibling entry.
+func (t *Tree) splitNode(n *node) (*node, *entry) {
+	a, b := splitQuadratic(n.entries, t.min)
+	n.entries = a
+	right := &node{cow: t.cow, leaf: n.leaf, entries: b}
+	return n, &entry{box: mbrOf(b), child: right}
+}
+
+// chooseSubtree picks the child needing least enlargement for box
+// (ties: smallest area) — Guttman's ChooseLeaf descent rule.
+func chooseSubtree(entries []entry, box core.Rect) int {
+	best := -1
+	bestEnlarge, bestArea := 0, 0
+	for i := range entries {
+		u := entries[i].box.Union(box)
+		enlarge := u.Area() - entries[i].box.Area()
+		area := entries[i].box.Area()
+		if best == -1 || enlarge < bestEnlarge ||
+			(enlarge == bestEnlarge && area < bestArea) {
+			best, bestEnlarge, bestArea = i, enlarge, area
+		}
+	}
+	return best
 }
 
 // mbrOf returns the union of all entry boxes.
@@ -228,7 +261,8 @@ func pickSeeds(es []entry) (int, int) {
 }
 
 // SearchIntersect returns all items whose boxes intersect the query box,
-// sorted by ID for determinism.
+// sorted by ID for determinism. It never mutates the tree, so any number
+// of goroutines may search one (cloned or not) tree concurrently.
 func (t *Tree) SearchIntersect(box core.Rect) []Item {
 	var out []Item
 	t.search(t.root, box, &out)
@@ -251,78 +285,63 @@ func (t *Tree) search(n *node, box core.Rect, out *[]Item) {
 
 // Delete removes the item with the given id and box; it reports whether
 // the item was found. Underflowing nodes are condensed by reinserting
-// their remaining entries (Guttman's CondenseTree).
+// their remaining items (Guttman's CondenseTree, at item granularity),
+// with the same copy-on-write discipline as Insert.
 func (t *Tree) Delete(id string, box core.Rect) bool {
-	leaf, idx := t.findLeaf(t.root, id, box)
-	if leaf == nil {
+	root, found, orphans := t.delete(t.root, id, box)
+	if !found {
 		return false
 	}
-	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.root = root
 	t.size--
-	t.condense(leaf)
-	// Shrink the root if it has a single child.
+	for _, it := range orphans {
+		t.reinsert(entry{box: it.Box, item: it})
+	}
+	// Shrink the root while it has a single child.
 	for !t.root.leaf && len(t.root.entries) == 1 {
 		t.root = t.root.entries[0].child
 	}
 	if !t.root.leaf && len(t.root.entries) == 0 {
-		t.root = &node{leaf: true}
+		t.root = &node{cow: t.cow, leaf: true}
 	}
 	return true
 }
 
-// findLeaf locates the leaf holding (id, box).
-func (t *Tree) findLeaf(n *node, id string, box core.Rect) (*node, int) {
+// delete removes (id, box) from the subtree under n. It returns the
+// (possibly copied) node, whether the item was found, and the items
+// orphaned by condensing an underflowed descendant — the caller at the
+// top reinserts them.
+func (t *Tree) delete(n *node, id string, box core.Rect) (*node, bool, []Item) {
 	if n.leaf {
 		for i := range n.entries {
 			if n.entries[i].item.ID == id && n.entries[i].item.Box == box {
-				return n, i
+				n = t.mutable(n)
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return n, true, nil
 			}
 		}
-		return nil, -1
+		return n, false, nil
 	}
 	for i := range n.entries {
-		if n.entries[i].box.Intersects(box) {
-			if leaf, idx := t.findLeaf(n.entries[i].child, id, box); leaf != nil {
-				return leaf, idx
-			}
+		if !n.entries[i].box.Intersects(box) {
+			continue
 		}
-	}
-	return nil, -1
-}
-
-// condense removes underflowing nodes bottom-up and reinserts their
-// orphaned items; it also tightens ancestor boxes.
-func (t *Tree) condense(n *node) {
-	for n != t.root {
-		parent := t.findParent(t.root, n)
-		if parent == nil {
-			return
+		child, found, orphans := t.delete(n.entries[i].child, id, box)
+		if !found {
+			continue
 		}
-		if len(n.entries) < t.min {
-			// Remove n from its parent and reinsert its items.
-			for i := range parent.entries {
-				if parent.entries[i].child == n {
-					parent.entries = append(parent.entries[:i], parent.entries[i+1:]...)
-					break
-				}
-			}
-			var orphans []Item
-			collectItems(n, &orphans)
-			t.size -= len(orphans)
-			for _, it := range orphans {
-				t.Insert(it.ID, it.Box)
-			}
+		n = t.mutable(n)
+		if len(child.entries) < t.min {
+			// Underflow: eliminate the child and orphan everything
+			// beneath it for reinsertion.
+			collectItems(child, &orphans)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
 		} else {
-			// Tighten the parent's box for n.
-			for i := range parent.entries {
-				if parent.entries[i].child == n {
-					parent.entries[i].box = mbrOf(n.entries)
-					break
-				}
-			}
+			n.entries[i] = entry{box: mbrOf(child.entries), child: child}
 		}
-		n = parent
+		return n, true, orphans
 	}
+	return n, false, nil
 }
 
 // collectItems gathers every item below n.

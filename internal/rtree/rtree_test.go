@@ -223,3 +223,106 @@ func TestNewClampsBranching(t *testing.T) {
 		t.Errorf("Len = %d", tr.Len())
 	}
 }
+
+// items returns the full content of the tree as an id -> box map.
+func items(tr *Tree) map[string]core.Rect {
+	out := make(map[string]core.Rect)
+	for _, it := range tr.SearchIntersect(core.NewRect(-1000, -1000, 10000, 10000)) {
+		out[it.ID] = it.Box
+	}
+	return out
+}
+
+// TestCloneIsolation pins the copy-on-write contract: after Clone, any
+// mix of inserts and deletes on the copy leaves the original bit-for-bit
+// intact (and vice versa), while the copy sees its own mutations.
+func TestCloneIsolation(t *testing.T) {
+	base := New(4)
+	boxes := make(map[string]core.Rect)
+	for i := 0; i < 80; i++ {
+		x, y := (i%9)*11, (i/9)*11
+		id := fmt.Sprintf("base%02d", i)
+		boxes[id] = core.NewRect(x, y, x+6, y+6)
+		base.Insert(id, boxes[id])
+	}
+	before := items(base)
+
+	cp := base.Clone()
+	for i := 0; i < 80; i += 2 {
+		id := fmt.Sprintf("base%02d", i)
+		if !cp.Delete(id, boxes[id]) {
+			t.Fatalf("clone Delete(%s) failed", id)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		cp.Insert(fmt.Sprintf("new%02d", i), core.NewRect(i, 200, i+3, 203))
+	}
+	if err := cp.Validate(); err != nil {
+		t.Fatalf("clone Validate: %v", err)
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base Validate after clone mutations: %v", err)
+	}
+	if got := items(base); !mapsEqual(got, before) {
+		t.Fatalf("original changed under clone mutations: %d items, want %d", len(got), len(before))
+	}
+	if base.Len() != 80 || cp.Len() != 80 {
+		t.Fatalf("Len: base %d want 80, clone %d want 80", base.Len(), cp.Len())
+	}
+	got := items(cp)
+	for i := 0; i < 80; i++ {
+		id := fmt.Sprintf("base%02d", i)
+		if _, ok := got[id]; ok != (i%2 == 1) {
+			t.Errorf("clone item %s present=%v, want %v", id, ok, i%2 == 1)
+		}
+	}
+}
+
+// TestCloneChainVersions builds a chain of clones (one mutation per
+// version, as the snapshot engine does) and verifies every version still
+// answers searches for exactly its own state.
+func TestCloneChainVersions(t *testing.T) {
+	versions := []*Tree{New(4)}
+	sizes := []int{0}
+	cur := versions[0]
+	for i := 0; i < 64; i++ {
+		next := cur.Clone()
+		next.Insert(fmt.Sprintf("v%02d", i), core.NewRect(i, i, i+4, i+4))
+		versions = append(versions, next)
+		sizes = append(sizes, i+1)
+		cur = next
+	}
+	// Delete half on further versions.
+	for i := 0; i < 32; i++ {
+		next := cur.Clone()
+		if !next.Delete(fmt.Sprintf("v%02d", i*2), core.NewRect(i*2, i*2, i*2+4, i*2+4)) {
+			t.Fatalf("version delete v%02d failed", i*2)
+		}
+		versions = append(versions, next)
+		sizes = append(sizes, 64-i-1)
+		cur = next
+	}
+	for v, tr := range versions {
+		if tr.Len() != sizes[v] {
+			t.Fatalf("version %d Len = %d, want %d", v, tr.Len(), sizes[v])
+		}
+		if got := len(items(tr)); got != sizes[v] {
+			t.Fatalf("version %d holds %d items, want %d", v, got, sizes[v])
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("version %d Validate: %v", v, err)
+		}
+	}
+}
+
+func mapsEqual(a, b map[string]core.Rect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
