@@ -27,6 +27,10 @@ type (
 	Transform = core.Transform
 	// Indexed is a symbolic image with incremental insert/delete support.
 	Indexed = core.Indexed
+	// Signature is the compact symbol signature of a converted image:
+	// sorted label set, per-axis lengths and dummy counts — everything
+	// the filter-and-refine upper bounds need (see SignatureOf).
+	Signature = core.Signature
 )
 
 // Boundary kinds.

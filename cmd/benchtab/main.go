@@ -3,13 +3,14 @@
 // DESIGN.md, plus the engine experiments E9 (search scaling), E10
 // (filtered-search scaling through the composable query pipeline; e7b
 // is the adversarial clique companion), E11 (durable-store write
-// throughput across fsync policy x batch size) and E12 (snapshot-reader
-// throughput under 0/1/4 concurrent writers). Run with -exp all
-// (default) or a single experiment id.
+// throughput across fsync policy x batch size), E12 (snapshot-reader
+// throughput under 0/1/4 concurrent writers) and E13 (filter-and-refine
+// pruning efficacy: signature-bound refine stage on vs off). Run with
+// -exp all (default) or a single experiment id.
 //
 // Usage:
 //
-//	benchtab [-exp e1|e2|...|e12|all] [-quick] [-csv]
+//	benchtab [-exp e1|e2|...|e13|all] [-quick] [-csv]
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: e1..e12 or all")
+	exp := fs.String("exp", "all", "experiment to run: e1..e13 or all")
 	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	if err := fs.Parse(args); err != nil {
@@ -49,6 +50,9 @@ func run(args []string) error {
 	walBatches := []int{1, 16, 128}
 	mixedCorpus, mixedReaders, mixedWindow := 4000, 4, 500*time.Millisecond
 	mixedWriters := []int{0, 1, 4}
+	pruneSizes := []int{1000, 10000, 100000}
+	pruneSelectivities := []int{10, 50, 100}
+	pruneKs := []int{1, 10, 100}
 	qualityCfgs := bench.QualityConfigs(bench.DefaultSeed)
 	if *quick {
 		sweep = []int{4, 8}
@@ -59,6 +63,9 @@ func run(args []string) error {
 		filteredSizes = []int{300, 1000}
 		walBatches = []int{1, 16}
 		mixedCorpus, mixedReaders, mixedWindow = 800, 2, 150*time.Millisecond
+		pruneSizes = []int{300, 1000}
+		pruneSelectivities = []int{10, 100}
+		pruneKs = []int{10}
 		qualityCfgs = qualityCfgs[:1]
 		qualityCfgs[0].Cfg = retrieval.WorkloadConfig{
 			Seed: bench.DefaultSeed, Distractors: 10, Relevant: 2, Queries: 2, Jitter: 2,
@@ -84,6 +91,9 @@ func run(args []string) error {
 		{"e11", func() (*bench.Table, error) { return bench.WALThroughput(walBatches) }},
 		{"e12", func() (*bench.Table, error) {
 			return bench.MixedReadWrite(mixedCorpus, mixedWriters, mixedReaders, mixedWindow)
+		}},
+		{"e13", func() (*bench.Table, error) {
+			return bench.PruneEfficacy(pruneSizes, pruneSelectivities, pruneKs)
 		}},
 	}
 
@@ -128,7 +138,7 @@ func run(args []string) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e12 or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e13 or all)", *exp)
 	}
 	return nil
 }

@@ -10,7 +10,7 @@
 //	bestring search    -dbfile db.json [-query q.json] [-k 10] [-offset 0]
 //	                   [-method be|invariant|type0|type1|type2|symbols]
 //	                   [-dsl "A left-of B"] [-region x0,y0,x1,y1] [-region-label L]
-//	                   [-min-score 0.4]
+//	                   [-min-score 0.4] [-explain] [-no-prune]
 //	bestring transform -img scene.json -t rot90|rot180|rot270|flip-x|flip-y
 //	bestring mkdb      -out db.json [-count 50] [-seed 1] [-objects 8] [-vocab 24]
 //	bestring store     init|inspect|compact -data-dir DIR [flags]
@@ -192,6 +192,8 @@ func cmdSearch(args []string) error {
 	region := fs.String("region", "", `region filter "x0,y0,x1,y1" (icons intersecting it)`)
 	regionLabel := fs.String("region-label", "", "restrict -region to icons with this label")
 	minScore := fs.Float64("min-score", 0, "drop results scoring below the threshold")
+	explain := fs.Bool("explain", false, "print per-stage candidate counts and per-hit bound vs exact score")
+	noPrune := fs.Bool("no-prune", false, "disable filter-and-refine pruning (results are identical; for measurement)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -207,24 +209,35 @@ func cmdSearch(args []string) error {
 	}
 
 	var q *bestring.Query
-	if *qPath != "" {
+	var queryBE bestring.BEString
+	hasImage := *qPath != ""
+	if hasImage {
 		img, err := loadImage(*qPath)
 		if err != nil {
 			return err
+		}
+		if *explain {
+			// Only -explain needs the query's BE-string here (for the
+			// per-hit bound column); the pipeline converts internally.
+			if queryBE, err = bestring.Convert(img); err != nil {
+				return err
+			}
 		}
 		q = bestring.NewQuery(img)
 	} else {
 		q = bestring.NewMatchQuery()
 	}
-	scorer, err := scorerByName(*method)
-	if err != nil {
+	// Validate the method eagerly for a friendly error, then select it by
+	// name so the engine resolves its declared bound and can prune.
+	if _, err := scorerByName(*method); err != nil {
 		return err
 	}
 	opts := []bestring.QueryOption{
 		bestring.WithK(*k),
 		bestring.WithOffset(*offset),
-		bestring.WithScorerFunc(scorer),
+		bestring.WithScorer(*method),
 		bestring.WithMinScore(*minScore),
+		bestring.WithPruning(!*noPrune),
 	}
 	if *dsl != "" {
 		opts = append(opts, bestring.Where(*dsl))
@@ -243,16 +256,49 @@ func cmdSearch(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *dsl != "" {
+
+	// -explain prepares the per-hit bound column: the signature upper
+	// bound the refine stage compared against the top-K floor, next to
+	// the exact score it shortcuts. A wide gap on a relevance complaint
+	// usually means the label overlap (which drives the bound) disagrees
+	// with the spatial agreement (which drives the score).
+	bound, hasBound := bestring.LookupBound(*method)
+	var querySig bestring.Signature
+	if *explain && hasImage && hasBound {
+		querySig = bestring.SignatureOf(queryBE)
+	}
+	explainBound := func(h bestring.QueryHit) string {
+		if !hasImage || !hasBound {
+			return "-"
+		}
+		e, ok := db.Get(h.ID)
+		if !ok {
+			return "-"
+		}
+		return fmt.Sprintf("%.4f", bound(querySig, bestring.SignatureOf(e.BE)))
+	}
+
+	switch {
+	case *explain:
+		fmt.Printf("%-4s %-20s %-10s %-10s %s\n", "rank", "id", "score", "bound", "name")
+		for i, h := range page.Hits {
+			fmt.Printf("%-4d %-20s %-10.4f %-10s %s\n", i+*offset+1, h.ID, h.Score, explainBound(h), h.Name)
+		}
+	case *dsl != "":
 		fmt.Printf("%-4s %-20s %-10s %-8s %-5s %s\n", "rank", "id", "score", "where", "full", "name")
 		for i, h := range page.Hits {
 			fmt.Printf("%-4d %-20s %-10.4f %-8.4f %-5v %s\n", i+*offset+1, h.ID, h.Score, h.Where, h.Full, h.Name)
 		}
-	} else {
+	default:
 		fmt.Printf("%-4s %-20s %-10s %s\n", "rank", "id", "score", "name")
 		for i, h := range page.Hits {
 			fmt.Printf("%-4d %-20s %-10.4f %s\n", i+*offset+1, h.ID, h.Score, h.Name)
 		}
+	}
+	if *explain && page.Stages != nil {
+		s := page.Stages
+		fmt.Printf("stages: indexed %d -> region %d -> narrowed %d -> bounded %d -> evaluated %d (pruned %d)\n",
+			s.Indexed, s.Region, s.Narrowed, s.Bounded, s.Evaluated, s.Pruned)
 	}
 	if page.NextCursor != "" {
 		fmt.Printf("(%d of %d results; next offset %d)\n", len(page.Hits), page.Total, *offset+len(page.Hits))

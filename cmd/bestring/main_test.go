@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"bestring"
@@ -159,5 +161,84 @@ func TestSearchComposedFlags(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Fatalf("%v: accepted, want error", args)
 		}
+	}
+}
+
+// TestSearchExplain pins the -explain debugging view: per-hit bound vs
+// exact score and the per-stage candidate counts, with and without
+// pruning (-no-prune must not change the ranking lines).
+func TestSearchExplain(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.json")
+	if err := run([]string{"mkdb", "-out", dbPath, "-count", "20", "-seed", "4"}); err != nil {
+		t.Fatalf("mkdb: %v", err)
+	}
+	img := writeFig1(t)
+
+	capture := func(args ...string) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runErr := run(args)
+		w.Close()
+		os.Stdout = old
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if runErr != nil {
+			t.Fatalf("run %v: %v", args, runErr)
+		}
+		return string(out)
+	}
+
+	out := capture("search", "-dbfile", dbPath, "-query", img, "-k", "5", "-explain")
+	if !strings.Contains(out, "bound") || !strings.Contains(out, "stages:") {
+		t.Fatalf("-explain output missing bound column or stage counts:\n%s", out)
+	}
+	if !strings.Contains(out, "-> bounded") || !strings.Contains(out, "pruned") {
+		t.Fatalf("-explain output missing pipeline stages:\n%s", out)
+	}
+
+	// The ranking lines are byte-identical with pruning disabled; only
+	// the stage counters may differ.
+	stripStages := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "stages:") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	off := capture("search", "-dbfile", dbPath, "-query", img, "-k", "5", "-explain", "-no-prune")
+	if stripStages(out) != stripStages(off) {
+		t.Fatalf("-no-prune changed the ranking:\n on: %s\noff: %s", out, off)
+	}
+	if !strings.Contains(off, "(pruned 0)") {
+		t.Fatalf("-no-prune still pruned:\n%s", off)
+	}
+
+	// Exact-only scorers print "-" for the bound column: every hit line
+	// (rank, id, score, bound, ...) must carry the dash as its fourth
+	// field.
+	out = capture("search", "-dbfile", dbPath, "-query", img, "-k", "3", "-method", "type0", "-explain")
+	hits := 0
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 4 || f[0] == "rank" || strings.HasPrefix(line, "stages:") || strings.HasPrefix(line, "(") {
+			continue
+		}
+		hits++
+		if f[3] != "-" {
+			t.Fatalf("type0 -explain bound column = %q, want \"-\":\n%s", f[3], out)
+		}
+	}
+	if hits == 0 {
+		t.Fatalf("no hit lines parsed from -explain output:\n%s", out)
 	}
 }

@@ -139,6 +139,9 @@ func (a *api) health(w http.ResponseWriter, _ *http.Request) {
 		"epoch":      stats.Epoch,
 		"entries":    stats.Images,
 		"goroutines": runtime.NumGoroutine(),
+		// Cumulative filter-and-refine counters: pruned/evaluated is the
+		// fraction of exact LCS work the signature bounds saved.
+		"search": stats.Search,
 	}
 	if a.store != nil {
 		ss := a.store.StoreStats()
@@ -327,6 +330,11 @@ type queryRequest struct {
 	// exact page walk rather than jumping to the fresh snapshot.
 	Consistent bool `json:"consistent,omitempty"`
 
+	// Debug adds the per-stage candidate counts (narrowed, bounded,
+	// evaluated, pruned) to the response — on a batch, to every
+	// sub-response. Results are unaffected.
+	Debug bool `json:"debug,omitempty"`
+
 	Queries []queryRequest `json:"queries,omitempty"`
 }
 
@@ -375,9 +383,12 @@ type queryResponse struct {
 	Total      int                 `json:"total"`
 	NextCursor string              `json:"nextCursor,omitempty"`
 	// Epoch identifies the immutable store version the query read.
-	Epoch  uint64 `json:"epoch,omitempty"`
-	Error  string `json:"error,omitempty"`
-	Status int    `json:"status,omitempty"` // set only on per-query batch errors
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Stages carries the per-stage candidate counts when the request set
+	// "debug": true.
+	Stages *bestring.QueryStages `json:"stages,omitempty"`
+	Error  string                `json:"error,omitempty"`
+	Status int                   `json:"status,omitempty"` // set only on per-query batch errors
 }
 
 func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
@@ -445,6 +456,9 @@ func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				out[i] = queryResponse{Hits: page.Hits, Total: page.Total, NextCursor: page.NextCursor, Epoch: page.Epoch}
+				if req.Debug || sub.Debug {
+					out[i].Stages = page.Stages
+				}
 			}(i, sub)
 		}
 		wg.Wait()
@@ -466,7 +480,11 @@ func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, queryStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
+	resp := queryResponse{
 		Hits: page.Hits, Total: page.Total, NextCursor: page.NextCursor, Epoch: page.Epoch,
-	})
+	}
+	if req.Debug {
+		resp.Stages = page.Stages
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

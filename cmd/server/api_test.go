@@ -633,3 +633,72 @@ func TestStoreBackedAPI(t *testing.T) {
 		t.Fatalf("recovered get status = %d", rec.Code)
 	}
 }
+
+// TestV1SearchDebugStages pins the pruning-observability surface:
+// "debug": true adds the per-stage candidate counts to the response
+// (and to every sub-response of a batch), plain requests omit them, and
+// /healthz reports the cumulative filter-and-refine counters.
+func TestV1SearchDebugStages(t *testing.T) {
+	db, err := openDB("", 30, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := newMux(db)
+	img := bestring.Figure1Image()
+
+	rec := do(t, mux, http.MethodPost, "/api/v1/search", map[string]any{"image": img, "k": 5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var plain struct {
+		Stages *bestring.QueryStages `json:"stages"`
+	}
+	decode(t, rec, &plain)
+	if plain.Stages != nil {
+		t.Fatalf("plain request leaked stage counts: %+v", plain.Stages)
+	}
+
+	rec = do(t, mux, http.MethodPost, "/api/v1/search", map[string]any{"image": img, "k": 5, "debug": true})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var dbg struct {
+		Hits   []bestring.QueryHit   `json:"hits"`
+		Stages *bestring.QueryStages `json:"stages"`
+	}
+	decode(t, rec, &dbg)
+	if dbg.Stages == nil {
+		t.Fatalf("debug request returned no stage counts (%s)", rec.Body.String())
+	}
+	if dbg.Stages.Narrowed != 30 || dbg.Stages.Evaluated+dbg.Stages.Pruned != dbg.Stages.Bounded {
+		t.Fatalf("incoherent stage counts %+v", dbg.Stages)
+	}
+
+	rec = do(t, mux, http.MethodPost, "/api/v1/search", map[string]any{
+		"debug":   true,
+		"queries": []map[string]any{{"image": img, "k": 3}, {"image": img, "k": 3, "scorer": "invariant"}},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	var batch struct {
+		Results []struct {
+			Stages *bestring.QueryStages `json:"stages"`
+		} `json:"results"`
+	}
+	decode(t, rec, &batch)
+	for i, r := range batch.Results {
+		if r.Stages == nil {
+			t.Fatalf("batch result %d missing stage counts (%s)", i, rec.Body.String())
+		}
+	}
+
+	rec = do(t, mux, http.MethodGet, "/healthz", nil)
+	var health struct {
+		Search bestring.SearchStats `json:"search"`
+	}
+	decode(t, rec, &health)
+	if health.Search.Queries < 4 || health.Search.Evaluated == 0 {
+		t.Fatalf("healthz search counters not cumulative: %+v", health.Search)
+	}
+}

@@ -752,3 +752,93 @@ func mixedPoint(ctx context.Context, db *imagedb.DB, query, churn core.Image,
 	usPerQuery = float64(readers) * elapsed.Seconds() * 1e6 / float64(reads)
 	return readsPerSec, writesPerSec, usPerQuery, nil
 }
+
+// relabelDisjoint prefixes every object label, moving the scene into a
+// vocabulary disjoint from the generator's — the knob E13 uses to
+// control what fraction of the corpus shares icon labels with a query.
+func relabelDisjoint(img core.Image) core.Image {
+	objs := make([]core.Object, len(img.Objects))
+	for i, o := range img.Objects {
+		objs[i] = core.Object{Label: "zz-" + o.Label, Box: o.Box}
+	}
+	return core.NewImage(img.XMax, img.YMax, objs...)
+}
+
+// PruneEfficacy is experiment E13 (the filter-and-refine experiment,
+// not from the paper): ranked-query latency with the signature-bound
+// refine stage on versus off, over corpus size x label selectivity x K.
+// A selectivity of s% keeps s% of the corpus in the query's icon
+// vocabulary and relabels the rest into a disjoint one: disjoint images
+// get a near-zero upper bound and are rejected without the O(mn)
+// dynamic program, while shared-vocabulary images are pruned only once
+// the top-K floor rises above their bound. Both paths return
+// byte-identical rankings (pinned by TestPrunedRankingByteIdentical);
+// the table shows what the bound saves and how the saving moves with
+// each knob.
+func PruneEfficacy(sizes, selectivities, ks []int) (*Table, error) {
+	t := &Table{
+		ID: "E13",
+		Caption: "filter-and-refine ranking: signature-bound pruning on vs off " +
+			"(selectivity = corpus share in the query vocabulary)",
+		Header: []string{"images", "selectivity", "K", "pruned", "off us/op", "on us/op", "speedup"},
+	}
+	ctx := context.Background()
+	for _, sel := range selectivities {
+		if sel <= 0 || sel > 100 {
+			return nil, fmt.Errorf("E13: selectivity %d%% out of (0, 100]", sel)
+		}
+	}
+	for _, n := range sizes {
+		for _, sel := range selectivities {
+			gen := workload.NewGenerator(workload.Config{
+				Seed: DefaultSeed + 13, Vocabulary: 32, Objects: 8,
+			})
+			scenes := gen.Dataset(n)
+			items := make([]imagedb.BulkItem, n)
+			for i, s := range scenes {
+				if i%100 >= sel {
+					s = relabelDisjoint(s)
+				}
+				items[i] = imagedb.BulkItem{ID: fmt.Sprintf("img%06d", i), Image: s}
+			}
+			db := imagedb.New()
+			if err := db.BulkInsert(ctx, items, 0); err != nil {
+				return nil, fmt.Errorf("E13: %w", err)
+			}
+			// scenes[0] keeps its labels at every selectivity (0%100 < sel),
+			// so the query always ranks from inside the shared vocabulary.
+			query := imagedb.NewQuery(gen.SubsetQuery(scenes[0], 4))
+			for _, k := range ks {
+				var opErr error
+				offD := MeasureOp(defaultMeasure, func() {
+					page, err := db.Query(ctx, query, imagedb.WithK(k), imagedb.WithPruning(false))
+					if err != nil {
+						opErr = err
+						return
+					}
+					Sink += len(page.Hits)
+				})
+				prunedFrac := 0.0
+				onD := MeasureOp(defaultMeasure, func() {
+					page, err := db.Query(ctx, query, imagedb.WithK(k))
+					if err != nil {
+						opErr = err
+						return
+					}
+					if page.Stages != nil && page.Stages.Bounded > 0 {
+						prunedFrac = float64(page.Stages.Pruned) / float64(page.Stages.Bounded)
+					}
+					Sink += len(page.Hits)
+				})
+				if opErr != nil {
+					return nil, fmt.Errorf("E13: %w", opErr)
+				}
+				t.AddRow(FmtInt(n), fmt.Sprintf("%d%%", sel), FmtInt(k),
+					fmt.Sprintf("%.1f%%", 100*prunedFrac),
+					FmtDur(offD), FmtDur(onD),
+					fmt.Sprintf("%.2fx", float64(offD)/float64(max(int(onD), 1))))
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import "sort"
+
+// Signature is the compact symbol-signature of one image's 2D BE-string:
+// the per-axis symbol histogram plus the axis lengths, reduced to the
+// smallest representation the model permits. It exists to support
+// filter-and-refine ranking: from two signatures alone a cheap upper
+// bound on the modified-LCS similarity can be computed (see
+// internal/similarity), so most candidates of a ranked search are
+// rejected without ever running the O(mn) dynamic program.
+//
+// The reduction is exact, not lossy. In a well-formed BE-string axis
+// every icon label contributes exactly one begin and one end boundary
+// (labels are unique within an image), so the non-dummy part of the
+// per-axis histogram is fully determined by the label set — which is
+// itself identical on both axes, since every object projects onto both.
+// The only other symbol is the dummy E, counted per axis. A Signature
+// therefore stores one sorted label list, two axis lengths and two
+// dummy counts, and any multiset-intersection over the real histograms
+// can be recovered from it in O(|labels|) time and O(1) extra space.
+//
+// A Signature is immutable once built; Labels must not be mutated.
+type Signature struct {
+	// Labels is the sorted list of distinct icon labels. Each label
+	// accounts for one begin and one end symbol on each axis.
+	Labels []string `json:"labels"`
+	// LenX and LenY are the total axis lengths (symbols plus dummies) —
+	// the normalisers of the similarity score.
+	LenX int `json:"lenX"`
+	LenY int `json:"lenY"`
+	// DummiesX and DummiesY count the dummy objects E per axis.
+	DummiesX int `json:"dummiesX"`
+	DummiesY int `json:"dummiesY"`
+}
+
+// SignatureOf computes the signature of a converted image. It is O(n)
+// plus the label sort — negligible next to the conversion that produced
+// the BE-string, which is why signatures are computed once at
+// Convert/insert time and stored, never recomputed per query.
+func SignatureOf(be BEString) Signature {
+	labels := make([]string, 0, len(be.X)/2)
+	dumX := 0
+	for _, t := range be.X {
+		if t.Dummy {
+			dumX++
+		} else if t.Kind == Begin {
+			labels = append(labels, t.Label)
+		}
+	}
+	sort.Strings(labels)
+	return Signature{
+		Labels:   labels,
+		LenX:     len(be.X),
+		LenY:     len(be.Y),
+		DummiesX: dumX,
+		DummiesY: be.Y.Dummies(),
+	}
+}
+
+// Len returns the combined axis length |X| + |Y| — the per-image term of
+// the similarity score's normaliser.
+func (s Signature) Len() int { return s.LenX + s.LenY }
+
+// SymbolLen returns the combined non-dummy symbol count — the normaliser
+// of the dummy-stripped (symbols-only) similarity.
+func (s Signature) SymbolLen() int {
+	return s.LenX + s.LenY - s.DummiesX - s.DummiesY
+}
+
+// SharedLabels returns the size of the label-set intersection — the
+// histogram-intersection primitive behind the LCS upper bound. Both
+// label lists are sorted, so this is a single O(|a|+|b|) merge with no
+// allocation.
+func (s Signature) SharedLabels(o Signature) int {
+	shared, i, j := 0, 0, 0
+	for i < len(s.Labels) && j < len(o.Labels) {
+		switch {
+		case s.Labels[i] < o.Labels[j]:
+			i++
+		case s.Labels[i] > o.Labels[j]:
+			j++
+		default:
+			shared++
+			i++
+			j++
+		}
+	}
+	return shared
+}
+
+// SwapAxes returns the signature with the X and Y axes exchanged — the
+// signature of the image rotated by 90 degrees. Axis reversal (the other
+// primitive of the dihedral transforms) changes no field at all: it
+// preserves lengths and dummy counts, and flipping every begin/end kind
+// permutes the histogram without changing any intersection with another
+// signature. SwapAxes therefore lets one signature pair bound the
+// similarity under every one of the eight transforms.
+func (s Signature) SwapAxes() Signature {
+	s.LenX, s.LenY = s.LenY, s.LenX
+	s.DummiesX, s.DummiesY = s.DummiesY, s.DummiesX
+	return s
+}

@@ -89,13 +89,15 @@ feed:
 		}
 	}
 
-	// Build the stored entries (including the image clones) before any
-	// lock is taken; only map installs and index registration remain for
-	// the critical section.
+	// Build the stored entries (including the image clones and their
+	// symbol signatures) before any lock is taken; only map installs and
+	// index registration remain for the critical section.
 	sts := make([]*stored, len(items))
 	for i, it := range items {
+		sig := core.SignatureOf(converted[i])
 		sts[i] = &stored{
 			Entry: Entry{ID: it.ID, Name: it.Name, Image: it.Image.Clone(), BE: converted[i]},
+			sig:   &sig,
 		}
 	}
 	return sts, nil

@@ -65,6 +65,14 @@ type DB struct {
 	// seq issues global insertion sequence numbers; entries order by seq
 	// to reconstruct insertion order across shards.
 	seq atomic.Uint64
+
+	// Cumulative filter-and-refine counters (see SearchStats), bumped
+	// once per executed query from its page's stage counts.
+	searchQueries   atomic.Uint64
+	searchNarrowed  atomic.Uint64
+	searchBounded   atomic.Uint64
+	searchEvaluated atomic.Uint64
+	searchPruned    atomic.Uint64
 }
 
 // New returns an empty database with one shard per GOMAXPROCS.

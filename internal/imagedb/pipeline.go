@@ -37,6 +37,39 @@ type Page struct {
 	NextCursor string `json:"nextCursor,omitempty"`
 	// Epoch identifies the immutable version this page was computed from.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Stages reports how many candidates each pipeline stage let
+	// through for this query — the observability hook for pruning
+	// efficacy. Always populated by the pipeline.
+	Stages *StageCounts `json:"stages,omitempty"`
+}
+
+// StageCounts are the per-stage candidate counts of one executed query:
+// how the staged pipeline narrowed the corpus down to the entries that
+// actually paid an exact scorer evaluation. Hits/Total/NextCursor are
+// byte-identical whatever these counts say; they only describe how much
+// work producing them took.
+type StageCounts struct {
+	// Indexed counts candidates after stage 1, the inverted-label
+	// narrowing (the full version size when no label filter applies).
+	Indexed int `json:"indexed"`
+	// Region counts candidates surviving stage 2, the R-tree region
+	// probe (equal to Indexed when the query has no region).
+	Region int `json:"region"`
+	// Narrowed counts candidates surviving stage 3, the
+	// spatial-predicate filter — the set entering ranked scoring.
+	Narrowed int `json:"narrowed"`
+	// Bounded counts candidates whose signature upper bound was
+	// computed in the refine stage (zero when the scorer declares no
+	// bound, pruning is disabled, or the query has no ranked image).
+	Bounded int `json:"bounded"`
+	// Evaluated counts exact scorer evaluations actually run.
+	Evaluated int `json:"evaluated"`
+	// Pruned counts candidates rejected on the bound alone: Bounded =
+	// Evaluated' + Pruned where Evaluated' is the bounded candidates
+	// that went on to exact evaluation. Under parallelism the split
+	// between Evaluated and Pruned can vary run to run (it depends on
+	// how fast each worker's top-K floor rises); the ranking cannot.
+	Pruned int `json:"pruned"`
 }
 
 // candidate is one image that survived the narrowing stages, with its
@@ -87,14 +120,16 @@ func (db *DB) QueryIter(ctx context.Context, q *Query, opts ...QueryOption) iter
 			yield(Hit{}, fmt.Errorf("query: %w", err))
 			return
 		}
-		iterOn(ctx, snap, spec, cur)(yield)
+		iterOn(ctx, snap, spec, cur, db.noteSearch)(yield)
 	}
 }
 
 // iterOn streams a query's results from one pinned version — the shared
 // engine behind DB.QueryIter and Snapshot.QueryIter. cur is the decoded
-// resume position of the spec's initial cursor, if any.
-func iterOn(ctx context.Context, snap *snapshot, spec *Query, cur *cursorPos) iter.Seq2[Hit, error] {
+// resume position of the spec's initial cursor, if any; note (optional)
+// receives each batch's stage counts so a DB-backed iteration feeds the
+// cumulative search counters.
+func iterOn(ctx context.Context, snap *snapshot, spec *Query, cur *cursorPos, note func(*StageCounts)) iter.Seq2[Hit, error] {
 	return func(yield func(Hit, error) bool) {
 		s := spec.clone()
 		unlimited := s.k == 0
@@ -109,6 +144,9 @@ func iterOn(ctx context.Context, snap *snapshot, spec *Query, cur *cursorPos) it
 			if err != nil {
 				yield(Hit{}, fmt.Errorf("query: %w", err))
 				return
+			}
+			if note != nil {
+				note(p.Stages)
 			}
 			for _, h := range p.Hits {
 				if !yield(h, nil) {
@@ -163,7 +201,24 @@ func (db *DB) execute(ctx context.Context, q *Query) (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	return executeOn(ctx, snap, q, cur)
+	page, err := executeOn(ctx, snap, q, cur)
+	if err == nil {
+		db.noteSearch(page.Stages)
+	}
+	return page, err
+}
+
+// noteSearch folds one query's stage counts into the DB's cumulative
+// filter-and-refine counters.
+func (db *DB) noteSearch(sc *StageCounts) {
+	if sc == nil {
+		return
+	}
+	db.searchQueries.Add(1)
+	db.searchNarrowed.Add(uint64(sc.Narrowed))
+	db.searchBounded.Add(uint64(sc.Bounded))
+	db.searchEvaluated.Add(uint64(sc.Evaluated))
+	db.searchPruned.Add(uint64(sc.Pruned))
 }
 
 // executeOn runs the staged pipeline against one pinned, immutable
@@ -181,15 +236,21 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 	}
 
 	// Resolve the scorer up front so an unknown name fails fast even if
-	// no candidate survives the filters.
+	// no candidate survives the filters. A registry scorer may carry an
+	// upper bound, enabling the refine stage below; an explicit
+	// WithScorerFunc scorer is opaque and always evaluates exactly.
 	scorer := q.scorer
+	var bound Bound
 	if scorer == nil && (q.image != nil || q.scorerName != "") {
-		s, ok := LookupScorer(q.scorerName)
+		r, ok := lookupRegistered(q.scorerName)
 		if !ok {
 			return nil, fmt.Errorf("unknown scorer %q (registered: %s)",
 				q.scorerName, strings.Join(ScorerNames(), ", "))
 		}
-		scorer = s
+		scorer = r.score
+		if !q.noPrune {
+			bound = r.bound
+		}
 	}
 
 	var img core.Image
@@ -219,6 +280,7 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 		prefilter = true
 	}
 	cands0 := snap.collect(labels, prefilter)
+	stages := &StageCounts{Indexed: len(cands0)}
 
 	// Stage 2 — R-tree region probe: keep images with an icon in the
 	// region before any per-image work.
@@ -232,6 +294,7 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 		}
 		cands0 = kept
 	}
+	stages.Region = len(cands0)
 
 	// Stage 3 — spatial-predicate evaluation. With a ranked component
 	// the clause is a filter (default: every constraint must hold);
@@ -287,11 +350,12 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 		}
 	}
 
+	stages.Narrowed = len(cands)
 	if len(cands) == 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return &Page{Hits: []Hit{}, Epoch: snap.epoch}, nil
+		return &Page{Hits: []Hit{}, Epoch: snap.epoch, Stages: stages}, nil
 	}
 
 	// Stage 4 — ranked scoring over the survivors, on the same bounded
@@ -327,8 +391,24 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 		}
 	}
 
+	// Stage 4a — the refine stage's filter half. With a bound-declaring
+	// scorer and a ranked image, each candidate's signature upper bound
+	// is computed first (O(|labels|), no dynamic program); the exact
+	// scorer runs only when the bound could still place the candidate.
+	// Pruning never changes results — see the admission notes inside the
+	// worker loop; each skip is taken only when the evaluated path would
+	// provably have made the same decision.
+	useBound := bound != nil && q.image != nil
+	var qsig core.Signature
+	if useBound {
+		qsig = core.SignatureOf(queryBE)
+	}
+
 	heaps := make([]*topK, workers)
 	counts := make([]int, workers)
+	boundedN := make([]int, workers)
+	evaluatedN := make([]int, workers)
+	prunedN := make([]int, workers)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -339,6 +419,36 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 			defer wg.Done()
 			for i := range jobs {
 				c := cands[i]
+				if useBound {
+					if sig, ok := snap.signature(c.st.ID); ok {
+						boundedN[w]++
+						ub := bound(qsig, sig)
+						if ub < q.minScore {
+							// exact <= ub < MinScore: evaluating would have
+							// dropped the candidate before it was counted.
+							prunedN[w]++
+							continue
+						}
+						if q.minScore <= 0 && h.full() && worse(Result{ID: c.st.ID, Score: ub}, h.min()) {
+							// The bound already loses to this worker's top-K
+							// floor, so the exact result (<= ub) would be
+							// rejected by h.add on the same comparison. It
+							// would still have been counted in Total: its
+							// score is >= 0 >= MinScore, and it is strictly
+							// worse than the cursor position because the
+							// floor — admitted past the cursor check — is.
+							// (With MinScore > 0 the exact score could fall
+							// below the threshold and change Total, so this
+							// shortcut is taken only when the threshold
+							// cannot filter; the MinScore bound above still
+							// prunes.)
+							counts[w]++
+							prunedN[w]++
+							continue
+						}
+					}
+				}
+				evaluatedN[w]++
 				r := Result{ID: c.st.ID, Name: c.st.Name, Score: rank(c)}
 				if r.Score < q.minScore {
 					continue
@@ -368,8 +478,11 @@ feed:
 	}
 
 	total := 0
-	for _, n := range counts {
-		total += n
+	for w := range counts {
+		total += counts[w]
+		stages.Bounded += boundedN[w]
+		stages.Evaluated += evaluatedN[w]
+		stages.Pruned += prunedN[w]
 	}
 	ranked := mergeTopK(heaps, heapK)
 
@@ -383,7 +496,7 @@ feed:
 		ranked = ranked[:q.k]
 	}
 
-	page := &Page{Hits: make([]Hit, len(ranked)), Total: total, Epoch: snap.epoch}
+	page := &Page{Hits: make([]Hit, len(ranked)), Total: total, Epoch: snap.epoch, Stages: stages}
 	for i, r := range ranked {
 		h := Hit{ID: r.ID, Name: r.Name, Score: r.Score}
 		if q.dsl != nil {

@@ -39,6 +39,7 @@ type Query struct {
 	minScore       float64
 	parallelism    int
 	labelPrefilter bool
+	noPrune        bool
 
 	err error // sticky builder error, surfaced by DB.Query
 }
@@ -222,6 +223,16 @@ func WithParallelism(n int) QueryOption {
 // same trade as SearchOptions.LabelPrefilter.
 func WithLabelPrefilter(on bool) QueryOption {
 	return func(q *Query) { q.labelPrefilter = on }
+}
+
+// WithPruning toggles the filter-and-refine refine stage (default on).
+// When on and the query ranks with a registry scorer that declares an
+// upper bound, candidates whose bound already loses to the running
+// top-K floor (or the MinScore threshold) skip the exact evaluation;
+// the ranking stays byte-identical either way, so turning pruning off
+// is only useful for measuring what it saves.
+func WithPruning(on bool) QueryOption {
+	return func(q *Query) { q.noPrune = !on }
 }
 
 // cursorPos is the decoded pagination cursor: the ranking position

@@ -6,25 +6,59 @@ import (
 	"sync"
 
 	"bestring/internal/baseline/typesim"
+	"bestring/internal/core"
+	"bestring/internal/similarity"
 )
 
 // DefaultScorerName is the registry name resolved when a query names no
 // scorer: the paper's BE-LCS similarity.
 const DefaultScorerName = "be"
 
+// Bound computes a cheap upper bound on a scorer's exact score from the
+// two symbol signatures alone — the "filter" half of filter-and-refine
+// ranking. A registered bound must satisfy, for every query/entry pair:
+//
+//	bound(SignatureOf(queryBE), SignatureOf(entry.BE)) >= scorer(query, queryBE, entry) >= 0
+//
+// at float level, not merely mathematically. The engine relies on both
+// inequalities to skip exact evaluations without changing results: a
+// candidate is pruned only when its bound already loses to the current
+// top-K floor or the MinScore threshold, which is sound only if the
+// exact score can never exceed the bound (and never dip below zero,
+// which the admission accounting assumes). A violating bound silently
+// corrupts rankings; when a cheap sound bound does not exist for a
+// scorer, register it without one and it is evaluated exactly for every
+// candidate.
+type Bound func(query, entry core.Signature) float64
+
+// registeredScorer pairs a scorer with its (optional) bound.
+type registeredScorer struct {
+	score Scorer
+	bound Bound
+}
+
 // scorerRegistry maps scorer names to implementations, so every surface
 // (library, CLI, REST) resolves method strings through one table instead
 // of each re-implementing the switch.
 var scorerRegistry = struct {
 	mu sync.RWMutex
-	m  map[string]Scorer
-}{m: make(map[string]Scorer)}
+	m  map[string]registeredScorer
+}{m: make(map[string]registeredScorer)}
 
-// RegisterScorer adds a named scorer to the registry. Names are
+// RegisterScorer adds a named scorer to the registry, with no bound:
+// queries ranking with it evaluate every candidate exactly. Names are
 // case-sensitive, must be non-empty and must not collide with a
 // registered name. The built-in names (be, invariant, type0, type1,
 // type2, symbols) are registered at package init.
 func RegisterScorer(name string, s Scorer) error {
+	return RegisterBoundedScorer(name, s, nil)
+}
+
+// RegisterBoundedScorer adds a named scorer together with its upper
+// bound, enabling filter-and-refine pruning for queries that rank with
+// it. The bound must obey the Bound contract; nil means exact-only
+// (identical to RegisterScorer).
+func RegisterBoundedScorer(name string, s Scorer, b Bound) error {
 	if name == "" {
 		return fmt.Errorf("register scorer: empty name")
 	}
@@ -36,20 +70,38 @@ func RegisterScorer(name string, s Scorer) error {
 	if _, exists := scorerRegistry.m[name]; exists {
 		return fmt.Errorf("register scorer %q: already registered", name)
 	}
-	scorerRegistry.m[name] = s
+	scorerRegistry.m[name] = registeredScorer{score: s, bound: b}
 	return nil
 }
 
-// LookupScorer resolves a registered scorer by name. The empty name
+// lookupRegistered resolves a registry entry by name. The empty name
 // resolves to DefaultScorerName.
-func LookupScorer(name string) (Scorer, bool) {
+func lookupRegistered(name string) (registeredScorer, bool) {
 	if name == "" {
 		name = DefaultScorerName
 	}
 	scorerRegistry.mu.RLock()
 	defer scorerRegistry.mu.RUnlock()
-	s, ok := scorerRegistry.m[name]
-	return s, ok
+	r, ok := scorerRegistry.m[name]
+	return r, ok
+}
+
+// LookupScorer resolves a registered scorer by name. The empty name
+// resolves to DefaultScorerName.
+func LookupScorer(name string) (Scorer, bool) {
+	r, ok := lookupRegistered(name)
+	return r.score, ok
+}
+
+// LookupBound resolves the upper bound a registered scorer declared.
+// The empty name resolves to DefaultScorerName; ok is false when the
+// scorer is unknown or registered without a bound (exact-only).
+func LookupBound(name string) (Bound, bool) {
+	r, ok := lookupRegistered(name)
+	if !ok || r.bound == nil {
+		return nil, false
+	}
+	return r.bound, true
 }
 
 // ScorerNames lists the registered scorer names, sorted.
@@ -65,15 +117,19 @@ func ScorerNames() []string {
 }
 
 func init() {
-	for name, s := range map[string]Scorer{
-		"be":        BEScorer(),
-		"invariant": InvariantScorer(nil),
-		"type0":     TypeSimScorer(typesim.Type0),
-		"type1":     TypeSimScorer(typesim.Type1),
-		"type2":     TypeSimScorer(typesim.Type2),
-		"symbols":   SymbolsOnlyScorer(),
+	// The LCS-family scorers declare the signature bounds proven in
+	// internal/similarity (UB >= exact is pinned by property test); the
+	// clique-based type-i baselines have no cheap sound bound and stay
+	// exact-only, as does any custom WithScorerFunc scorer.
+	for name, r := range map[string]registeredScorer{
+		"be":        {score: BEScorer(), bound: similarity.UpperBound},
+		"invariant": {score: InvariantScorer(nil), bound: similarity.UpperBoundInvariant},
+		"type0":     {score: TypeSimScorer(typesim.Type0)},
+		"type1":     {score: TypeSimScorer(typesim.Type1)},
+		"type2":     {score: TypeSimScorer(typesim.Type2)},
+		"symbols":   {score: SymbolsOnlyScorer(), bound: similarity.UpperBoundSymbolsOnly},
 	} {
-		if err := RegisterScorer(name, s); err != nil {
+		if err := RegisterBoundedScorer(name, r.score, r.bound); err != nil {
 			panic(err)
 		}
 	}

@@ -2,6 +2,8 @@ package imagedb
 
 import (
 	"runtime"
+
+	"bestring/internal/core"
 )
 
 // stored is one entry as kept inside a shard view: the public Entry plus
@@ -13,6 +15,20 @@ import (
 type stored struct {
 	Entry
 	seq uint64
+	// sig is the entry's symbol signature when the construction path
+	// precomputed it outside the writer lock (the bulk path does, so a
+	// 100k-image batch pays no signature work in its critical section);
+	// nil means txn.add derives it from the BE-string at install time.
+	sig *core.Signature
+}
+
+// signature returns the entry's symbol signature, preferring the
+// precomputed one.
+func (st *stored) signature() core.Signature {
+	if st.sig != nil {
+		return *st.sig
+	}
+	return core.SignatureOf(st.BE)
 }
 
 // defaultShards sizes the shard ring to the machine.
@@ -23,6 +39,31 @@ func defaultShards() int {
 // ShardCount returns the number of partitions of the store.
 func (db *DB) ShardCount() int { return len(db.current.Load().shards) }
 
+// SearchStats are the cumulative filter-and-refine counters of a DB:
+// how many candidates its ranked queries narrowed, bounded, evaluated
+// and pruned since the database was created. They make pruning efficacy
+// observable in production — Pruned/Bounded is the fraction of exact
+// LCS evaluations the signature bound saved. Counted by DB.Query,
+// DB.QueryIter and the deprecated Search wrappers; queries served from
+// an explicit Snapshot are not attributed (a Snapshot may outlive the
+// DB handle that minted it).
+type SearchStats struct {
+	// Queries counts executed ranked/filtered queries (each QueryIter
+	// batch counts once).
+	Queries uint64 `json:"queries"`
+	// Narrowed counts candidates that survived the narrowing stages
+	// (label index, region probe, predicate filter) and entered ranking.
+	Narrowed uint64 `json:"narrowed"`
+	// Bounded counts candidates whose signature upper bound was computed
+	// (zero when a query's scorer declares no bound or pruning is off).
+	Bounded uint64 `json:"bounded"`
+	// Evaluated counts exact scorer evaluations actually run.
+	Evaluated uint64 `json:"evaluated"`
+	// Pruned counts candidates rejected on the bound alone — ranking
+	// work avoided with zero effect on results.
+	Pruned uint64 `json:"pruned"`
+}
+
 // Stats describes shard occupancy, for capacity monitoring.
 type Stats struct {
 	// Epoch identifies the version these counts were read from.
@@ -30,10 +71,24 @@ type Stats struct {
 	Shards   int    `json:"shards"`
 	Images   int    `json:"images"`
 	PerShard []int  `json:"perShard"`
+	// Search holds the cumulative filter-and-refine counters. Unlike the
+	// occupancy fields they are process-lifetime totals, not a property
+	// of the pinned version.
+	Search SearchStats `json:"search"`
 }
 
-// Stats reports the entry count per shard. The counts come from one
-// published version, so they are always mutually consistent — a
-// concurrent all-or-nothing BulkInsert is visible either entirely or
-// not at all.
-func (db *DB) Stats() Stats { return db.current.Load().stats() }
+// Stats reports the entry count per shard plus the cumulative search
+// counters. The occupancy counts come from one published version, so
+// they are always mutually consistent — a concurrent all-or-nothing
+// BulkInsert is visible either entirely or not at all.
+func (db *DB) Stats() Stats {
+	st := db.current.Load().stats()
+	st.Search = SearchStats{
+		Queries:   db.searchQueries.Load(),
+		Narrowed:  db.searchNarrowed.Load(),
+		Bounded:   db.searchBounded.Load(),
+		Evaluated: db.searchEvaluated.Load(),
+		Pruned:    db.searchPruned.Load(),
+	}
+	return st
+}

@@ -6,6 +6,7 @@ import (
 	"iter"
 	"sort"
 
+	"bestring/internal/core"
 	"bestring/internal/rtree"
 )
 
@@ -36,11 +37,17 @@ type snapshot struct {
 	count   int
 }
 
-// shardView is one partition of one version: the entries plus this
-// shard's slice of the inverted label index (icon label -> image ids).
+// shardView is one partition of one version: the entries, this shard's
+// slice of the inverted label index (icon label -> image ids), and the
+// signature column (image id -> symbol signature) that feeds the
+// filter-and-refine ranking stage. Signatures are derived data — a pure
+// function of the entry's BE-string, computed once when the entry is
+// installed, never logged or persisted, and rebuilt for free on
+// recovery because recovery replays through the same install path.
 type shardView struct {
 	entries map[string]*stored
 	labels  map[string]map[string]bool
+	sigs    map[string]core.Signature
 }
 
 // emptySnapshot is version 1 of a fresh database. Epoch 0 is reserved to
@@ -55,6 +62,7 @@ func emptySnapshot(nshards int) *snapshot {
 		s.shards[i] = &shardView{
 			entries: make(map[string]*stored),
 			labels:  make(map[string]map[string]bool),
+			sigs:    make(map[string]core.Signature),
 		}
 	}
 	return s
@@ -81,6 +89,13 @@ func (s *snapshot) shardFor(id string) *shardView {
 func (s *snapshot) lookup(id string) (*stored, bool) {
 	st, ok := s.shardFor(id).entries[id]
 	return st, ok
+}
+
+// signature reads id's symbol signature from this version's signature
+// column. Like every snapshot read it touches only frozen maps.
+func (s *snapshot) signature(id string) (core.Signature, bool) {
+	sig, ok := s.shardFor(id).sigs[id]
+	return sig, ok
 }
 
 // collect gathers this version's entries, optionally pruned to images
@@ -201,12 +216,16 @@ func (m *txn) shard(idx int) *shardView {
 		sv := &shardView{
 			entries: make(map[string]*stored, len(src.entries)+1),
 			labels:  make(map[string]map[string]bool, len(src.labels)),
+			sigs:    make(map[string]core.Signature, len(src.sigs)+1),
 		}
 		for k, v := range src.entries {
 			sv.entries[k] = v
 		}
 		for k, v := range src.labels {
 			sv.labels[k] = v
+		}
+		for k, v := range src.sigs {
+			sv.sigs[k] = v
 		}
 		m.shards[idx] = sv
 		m.dirty[idx] = true
@@ -265,11 +284,15 @@ func (m *txn) unindexLabel(idx int, sv *shardView, label, id string) {
 	}
 }
 
-// add installs a new stored entry (id must not exist in the base).
+// add installs a new stored entry (id must not exist in the base),
+// populating the signature column from the entry's precomputed
+// signature (or deriving it from the BE-string when the caller did not
+// precompute one outside the writer lock).
 func (m *txn) add(st *stored) {
 	idx := shardIndex(st.ID, len(m.shards))
 	sv := m.shard(idx)
 	sv.entries[st.ID] = st
+	sv.sigs[st.ID] = st.signature()
 	t := m.tree()
 	for _, o := range st.Image.Objects {
 		m.indexLabel(idx, sv, o.Label, st.ID)
@@ -283,6 +306,7 @@ func (m *txn) remove(st *stored) {
 	idx := shardIndex(st.ID, len(m.shards))
 	sv := m.shard(idx)
 	delete(sv.entries, st.ID)
+	delete(sv.sigs, st.ID)
 	t := m.tree()
 	for _, o := range st.Image.Objects {
 		m.unindexLabel(idx, sv, o.Label, st.ID)
@@ -292,7 +316,8 @@ func (m *txn) remove(st *stored) {
 }
 
 // replace swaps old for next under the same id (an object-level update;
-// the insertion sequence is preserved by the caller).
+// the insertion sequence is preserved by the caller). The signature
+// column entry is recomputed with the new BE-string.
 func (m *txn) replace(old, next *stored) {
 	idx := shardIndex(old.ID, len(m.shards))
 	sv := m.shard(idx)
@@ -302,6 +327,7 @@ func (m *txn) replace(old, next *stored) {
 		t.Delete(spatialID(old.ID, o.Label), o.Box)
 	}
 	sv.entries[next.ID] = next
+	sv.sigs[next.ID] = next.signature()
 	for _, o := range next.Image.Objects {
 		m.indexLabel(idx, sv, o.Label, next.ID)
 		t.Insert(spatialID(next.ID, o.Label), o.Box)
@@ -470,6 +496,6 @@ func (sn *Snapshot) QueryIter(ctx context.Context, q *Query, opts ...QueryOption
 			yield(Hit{}, fmt.Errorf("query: %w", err))
 			return
 		}
-		iterOn(ctx, sn.snap, spec, cur)(yield)
+		iterOn(ctx, sn.snap, spec, cur, nil)(yield)
 	}
 }

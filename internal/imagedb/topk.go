@@ -20,6 +20,16 @@ func newTopK(k int) *topK {
 	return &topK{}
 }
 
+// full reports whether the heap has reached its bound — the point from
+// which admitting a candidate requires beating the current floor, so a
+// candidate whose score upper bound already loses can skip its exact
+// evaluation (the refine stage's pruning test).
+func (h *topK) full() bool { return h.k > 0 && len(h.items) == h.k }
+
+// min returns the worst result kept — the heap root. Only meaningful
+// when full() is true.
+func (h *topK) min() Result { return h.items[0] }
+
 // worse reports whether a ranks strictly below b in the result order.
 // Ids are unique, so two distinct results never compare equal and the
 // order is total — which is what makes heap-pruned results byte-identical

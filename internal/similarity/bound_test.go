@@ -1,0 +1,110 @@
+package similarity
+
+import (
+	"fmt"
+	"testing"
+
+	"bestring/internal/core"
+	"bestring/internal/workload"
+)
+
+// boundedPair is one (query, database) pair with both representations.
+type boundedPair struct {
+	name string
+	q, d core.BEString
+}
+
+// workloadPairs builds a randomized pair set from one seed: scenes
+// against scenes, plus the query shapes retrieval actually sees —
+// subsets, jittered variants, relabelled distractors and transforms.
+func workloadPairs(seed int64) []boundedPair {
+	g := workload.NewGenerator(workload.Config{Seed: seed, Vocabulary: 14, Objects: 7})
+	scenes := g.Dataset(12)
+	var pairs []boundedPair
+	add := func(name string, q, d core.Image) {
+		pairs = append(pairs, boundedPair{name, core.MustConvert(q), core.MustConvert(d)})
+	}
+	for i, s := range scenes {
+		for j, o := range scenes {
+			add(fmt.Sprintf("scene%d-vs-scene%d", i, j), s, o)
+		}
+		add(fmt.Sprintf("subset-vs-scene%d", i), g.SubsetQuery(s, 3), s)
+		add(fmt.Sprintf("jitter-vs-scene%d", i), g.JitterQuery(s, 6), s)
+		add(fmt.Sprintf("relabel-vs-scene%d", i), g.RelabelQuery(s, 3), s)
+		tq, _ := g.TransformQuery(s)
+		add(fmt.Sprintf("transform-vs-scene%d", i), tq, s)
+	}
+	return pairs
+}
+
+// TestUpperBoundDominatesExact is the proof-pinning property test of the
+// filter-and-refine refactor: for randomized workloads over three seeds,
+// every signature bound must dominate the exact score it shortcuts —
+// for the plain, transform-invariant and symbols-only scorers alike. A
+// single violation would mean pruning can drop a true top-K result.
+func TestUpperBoundDominatesExact(t *testing.T) {
+	for _, seed := range []int64{7, 8881, 20010407} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			for _, p := range workloadPairs(seed) {
+				sq, sd := core.SignatureOf(p.q), core.SignatureOf(p.d)
+				checks := []struct {
+					scorer string
+					bound  float64
+					exact  float64
+				}{
+					{"be", UpperBound(sq, sd), Evaluate(p.q, p.d).Key()},
+					{"invariant", UpperBoundInvariant(sq, sd), EvaluateInvariant(p.q, p.d, nil).Key()},
+					{"symbols", UpperBoundSymbolsOnly(sq, sd), EvaluateSymbolsOnly(p.q, p.d).Key()},
+				}
+				for _, c := range checks {
+					if c.bound < c.exact {
+						t.Fatalf("%s: %s bound %.6f < exact %.6f (q=%s d=%s)",
+							p.name, c.scorer, c.bound, c.exact, p.q, p.d)
+					}
+					if c.bound < 0 || c.bound > 1+1e-12 {
+						t.Fatalf("%s: %s bound %.6f outside [0, 1]", p.name, c.scorer, c.bound)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUpperBoundTightOnAccord pins the equality case: an image scored
+// against itself reaches similarity 1.0, and the bound must not exceed
+// it — so bound == exact == 1 on full accordance.
+func TestUpperBoundTightOnAccord(t *testing.T) {
+	g := workload.NewGenerator(workload.Config{Seed: 3, Vocabulary: 10, Objects: 6})
+	for i := 0; i < 8; i++ {
+		be := core.MustConvert(g.Scene())
+		sig := core.SignatureOf(be)
+		if ub := UpperBound(sig, sig); ub != 1 {
+			t.Fatalf("self bound = %v, want exactly 1", ub)
+		}
+		if exact := Evaluate(be, be).Key(); exact != 1 {
+			t.Fatalf("self similarity = %v, want exactly 1", exact)
+		}
+	}
+}
+
+// TestUpperBoundDisjointLabels pins the headline pruning win: two images
+// sharing no icon label can match at most a single dummy per axis, so
+// the bound collapses to nearly zero — these candidates are rejected
+// without running the dynamic program.
+func TestUpperBoundDisjointLabels(t *testing.T) {
+	a := core.MustConvert(core.NewImage(10, 10,
+		core.Object{Label: "a", Box: core.NewRect(1, 1, 3, 3)},
+		core.Object{Label: "b", Box: core.NewRect(5, 5, 8, 8)}))
+	b := core.MustConvert(core.NewImage(10, 10,
+		core.Object{Label: "c", Box: core.NewRect(1, 1, 3, 3)},
+		core.Object{Label: "d", Box: core.NewRect(5, 5, 8, 8)}))
+	sa, sb := core.SignatureOf(a), core.SignatureOf(b)
+	ub := UpperBound(sa, sb)
+	want := 2 * float64(2) / float64(sa.Len()+sb.Len()) // one lone dummy per axis
+	if ub > want {
+		t.Fatalf("disjoint bound = %v, want <= %v", ub, want)
+	}
+	if exact := Evaluate(a, b).Key(); ub < exact {
+		t.Fatalf("disjoint bound %v < exact %v", ub, exact)
+	}
+}

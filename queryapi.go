@@ -31,6 +31,16 @@ type (
 	QueryPage = imagedb.Page
 	// QueryHit is one result of a composed query.
 	QueryHit = imagedb.Hit
+	// QueryStages are the per-stage candidate counts of one executed
+	// query (narrowed -> bounded -> evaluated/pruned), reported on every
+	// QueryPage for pruning-efficacy observability.
+	QueryStages = imagedb.StageCounts
+	// ScorerBound is a cheap upper bound on a scorer's exact score,
+	// computed from two symbol signatures (see RegisterBoundedScorer for
+	// the soundness contract).
+	ScorerBound = imagedb.Bound
+	// SearchStats are a DB's cumulative filter-and-refine counters.
+	SearchStats = imagedb.SearchStats
 )
 
 // DefaultScorerName is the registry name used when a query names no
@@ -96,17 +106,38 @@ func WithLabelPrefilter(on bool) QueryOption {
 	return imagedb.WithLabelPrefilter(on)
 }
 
+// WithPruning toggles the filter-and-refine refine stage (default on).
+// Pruning never changes results; disabling it is only useful for
+// measuring what the signature upper bounds save.
+func WithPruning(on bool) QueryOption { return imagedb.WithPruning(on) }
+
 // RegisterScorer adds a named scorer to the registry shared by the
-// library, the CLI and the REST server. Built-in names: be, invariant,
-// type0, type1, type2, symbols.
+// library, the CLI and the REST server, with no upper bound (queries
+// ranking with it evaluate every candidate exactly). Built-in names:
+// be, invariant, type0, type1, type2, symbols.
 func RegisterScorer(name string, s Scorer) error {
 	return imagedb.RegisterScorer(name, s)
+}
+
+// RegisterBoundedScorer adds a named scorer together with its signature
+// upper bound, enabling filter-and-refine pruning for queries ranking
+// with it. The bound must dominate the scorer's exact score (which must
+// be non-negative) for every query/entry pair — see the Bound contract
+// in internal/imagedb; a violating bound silently corrupts rankings.
+func RegisterBoundedScorer(name string, s Scorer, b ScorerBound) error {
+	return imagedb.RegisterBoundedScorer(name, s, b)
 }
 
 // LookupScorer resolves a registered scorer by name ("" resolves to the
 // default).
 func LookupScorer(name string) (Scorer, bool) {
 	return imagedb.LookupScorer(name)
+}
+
+// LookupBound resolves the upper bound a registered scorer declared
+// ("" resolves to the default; ok is false for exact-only scorers).
+func LookupBound(name string) (ScorerBound, bool) {
+	return imagedb.LookupBound(name)
 }
 
 // ScorerNames lists the registered scorer names, sorted.

@@ -1,6 +1,7 @@
 package bestring
 
 import (
+	"bestring/internal/core"
 	"bestring/internal/lcs"
 	"bestring/internal/similarity"
 )
@@ -38,3 +39,15 @@ func Identical(a, b BEString) bool { return similarity.Identical(a, b) }
 // LCSLength exposes the modified 2D-Be-LCS length of two axes (Algorithm
 // 2) for callers composing their own scores.
 func LCSLength(q, d Axis) int { return lcs.Length(q, d) }
+
+// SignatureOf computes the compact symbol signature of a converted
+// image — the per-axis symbol histogram plus axis lengths that feed the
+// engine's filter-and-refine upper bounds. Computed once per image at
+// insert time by the database; exposed for callers composing their own
+// bounds or inspecting pruning decisions (see LookupBound).
+func SignatureOf(be BEString) Signature { return core.SignatureOf(be) }
+
+// SimilarityUpperBound bounds Similarity(q, d).F from the two
+// signatures alone: it always dominates the exact score and reaches it
+// on full accordance. O(|labels|) versus the O(mn) dynamic program.
+func SimilarityUpperBound(q, d Signature) float64 { return similarity.UpperBound(q, d) }
