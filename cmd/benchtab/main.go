@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	benchtab [-exp e1|e2|...|e13|all] [-quick] [-csv]
+//	benchtab [-exp e1|e2|...|e11b|...|e13|all] [-quick] [-csv]
 package main
 
 import (
@@ -33,7 +33,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: e1..e13 or all")
+	exp := fs.String("exp", "all", "experiment to run: e1..e13 (including e11b) or all")
 	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	if err := fs.Parse(args); err != nil {
@@ -48,6 +48,7 @@ func run(args []string) error {
 	filteredSizes := []int{1000, 10000, 100000}
 	selectivities := []int{1, 10, 100}
 	walBatches := []int{1, 16, 128}
+	commitWriters, commitWindow := []int{1, 2, 4, 8, 16, 32}, 400*time.Millisecond
 	mixedCorpus, mixedReaders, mixedWindow := 4000, 4, 500*time.Millisecond
 	mixedWriters := []int{0, 1, 4}
 	pruneSizes := []int{1000, 10000, 100000}
@@ -62,6 +63,7 @@ func run(args []string) error {
 		searchSizes = []int{200, 500}
 		filteredSizes = []int{300, 1000}
 		walBatches = []int{1, 16}
+		commitWriters, commitWindow = []int{1, 4, 16}, 150*time.Millisecond
 		mixedCorpus, mixedReaders, mixedWindow = 800, 2, 150*time.Millisecond
 		pruneSizes = []int{300, 1000}
 		pruneSelectivities = []int{10, 100}
@@ -89,6 +91,7 @@ func run(args []string) error {
 		{"e9", func() (*bench.Table, error) { return bench.SearchScaling(searchSizes, 10) }},
 		{"e10", func() (*bench.Table, error) { return bench.FilteredSearch(filteredSizes, selectivities, 10) }},
 		{"e11", func() (*bench.Table, error) { return bench.WALThroughput(walBatches) }},
+		{"e11b", func() (*bench.Table, error) { return bench.GroupCommitScaling(commitWriters, commitWindow) }},
 		{"e12", func() (*bench.Table, error) {
 			return bench.MixedReadWrite(mixedCorpus, mixedWriters, mixedReaders, mixedWindow)
 		}},
@@ -138,7 +141,7 @@ func run(args []string) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e13 or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e13, e11b, or all)", *exp)
 	}
 	return nil
 }

@@ -153,6 +153,9 @@ func (a *api) health(w http.ResponseWriter, _ *http.Request) {
 			"completed": ss.Checkpoints,
 			"lastError": ss.CheckpointErr,
 		}
+		// Group-commit counters: mutations/groups is the mean coalescing
+		// factor — how many concurrent writers shared each fsync.
+		body["commit"] = ss.Commit
 	}
 	writeJSON(w, http.StatusOK, body)
 }

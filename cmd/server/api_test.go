@@ -609,11 +609,23 @@ func TestStoreBackedAPI(t *testing.T) {
 			LastLSN  uint64 `json:"lastLSN"`
 			Fsync    string `json:"fsync"`
 		} `json:"wal"`
+		Commit struct {
+			Enabled   bool   `json:"enabled"`
+			Window    string `json:"window"`
+			Groups    uint64 `json:"groups"`
+			Mutations uint64 `json:"mutations"`
+		} `json:"commit"`
 	}
 	decode(t, rec, &health)
 	if !health.OK || !health.Durable || health.Images != 1 ||
 		health.WAL.LastLSN != 1 || health.WAL.Fsync != "always" {
 		t.Fatalf("health = %+v", health)
+	}
+	// The group-commit counters are on the operator surface: one accepted
+	// insert means one group of one mutation so far.
+	if !health.Commit.Enabled || health.Commit.Window == "" ||
+		health.Commit.Groups != 1 || health.Commit.Mutations != 1 {
+		t.Fatalf("health commit = %+v", health.Commit)
 	}
 	// The composable query endpoint works over the store.
 	if rec := do(t, mux, http.MethodPost, "/api/v1/search", map[string]any{"image": img, "k": 5}); rec.Code != http.StatusOK {

@@ -25,18 +25,23 @@
 // Usage:
 //
 //	server [-addr :8081] [-data-dir DIR [-fsync always|interval|never]
-//	       [-segment-bytes N]] [-dbfile db.json] [-seed 0 -count 0] [-shards 0]
+//	       [-segment-bytes N] [-commit-window 1ms] [-commit-batch 128]]
+//	       [-dbfile db.json] [-seed 0 -count 0] [-shards 0]
 //	       [-parallelism 0]
 //
 // Flags are validated up front: a negative -shards/-parallelism/-count/
-// -segment-bytes or an unknown -fsync policy exits with a one-line error
-// before anything is opened, instead of surfacing as undefined behavior
-// deep in the engine.
+// -segment-bytes/-commit-window, a -commit-batch below 1 or an unknown
+// -fsync policy exits with a one-line error before anything is opened,
+// instead of surfacing as undefined behavior deep in the engine.
 //
 // With -data-dir the server runs on the durable store: every mutation is
 // written to the write-ahead log before it is acknowledged, and a restart
 // (or crash) recovers the state from the latest snapshot plus the log
-// tail. With -dbfile the database is loaded from the file and saved back
+// tail. Concurrent mutations group-commit — they coalesce into one WAL
+// append and share one fsync; -commit-window bounds how long a mutation
+// may linger for its group (0 commits each drained group immediately)
+// and -commit-batch caps the group size (1 disables grouping). /healthz
+// reports the coalescing counters under "commit". With -dbfile the database is loaded from the file and saved back
 // atomically on shutdown; with -count a synthetic database is generated
 // (seeded into the store when one is configured and empty). -shards
 // partitions a synthetic or empty database (0 means GOMAXPROCS); a
@@ -78,6 +83,10 @@ func run(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable store directory (WAL + snapshots); overrides -dbfile")
 	fsyncS := fs.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval or never")
 	segBytes := fs.Int64("segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 4 MiB)")
+	commitWindow := fs.Duration("commit-window", bestring.DefaultCommitWindow,
+		"max time a mutation lingers for its commit group with -data-dir (0 = commit each group as soon as it is drained)")
+	commitBatch := fs.Int("commit-batch", bestring.DefaultCommitBatch,
+		"max mutations coalesced into one WAL append with -data-dir (1 = disable group commit)")
 	count := fs.Int("count", 0, "generate a synthetic database of this size when empty")
 	seed := fs.Int64("seed", 1, "generator seed for -count")
 	shards := fs.Int("shards", 0, "shard count for a synthetic or empty database (0 = GOMAXPROCS)")
@@ -99,6 +108,12 @@ func run(args []string) error {
 	if *segBytes < 0 {
 		return fmt.Errorf("-segment-bytes must be >= 0, got %d", *segBytes)
 	}
+	if *commitWindow < 0 {
+		return fmt.Errorf("-commit-window must be >= 0, got %v", *commitWindow)
+	}
+	if *commitBatch < 1 {
+		return fmt.Errorf("-commit-batch must be >= 1, got %d", *commitBatch)
+	}
 	if *count < 0 {
 		return fmt.Errorf("-count must be >= 0, got %d", *count)
 	}
@@ -113,11 +128,20 @@ func run(args []string) error {
 		db    *bestring.DB
 	)
 	if *dataDir != "" {
-		s, err := bestring.OpenStore(*dataDir, bestring.StoreOptions{
+		opts := bestring.StoreOptions{
 			Shards:       *shards,
 			Fsync:        policy,
 			SegmentBytes: *segBytes,
-		})
+			CommitBatch:  *commitBatch,
+			CommitWindow: *commitWindow,
+		}
+		if *commitWindow == 0 {
+			opts.CommitWindow = -1 // commit each drained group immediately
+		}
+		if *commitBatch == 1 {
+			opts.NoGroupCommit = true // a group of one is just a mutation
+		}
+		s, err := bestring.OpenStore(*dataDir, opts)
 		if err != nil {
 			return err
 		}

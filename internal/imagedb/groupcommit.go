@@ -1,0 +1,428 @@
+package imagedb
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bestring/internal/core"
+	"bestring/internal/wal"
+)
+
+// This file is the group-commit layer of the durable store. Without it,
+// every mutation pays one WAL frame, one fsync and one MVCC publish, so
+// FsyncAlways throughput is capped at the disk's sync rate no matter how
+// many writers run. With it, concurrent callers enqueue *prepared*
+// mutations (validation that needs no database state, conversion and
+// cloning all happen caller-side, in parallel) into a commit queue; a
+// single committer goroutine drains the queue and commits the whole
+// batch as ONE WAL frame, ONE fsync and ONE published version. Each
+// caller blocks until its group's fsync completes and observes its own
+// result: a mutation that fails validation against the batch's
+// transaction state fails only that caller, never the rest of the group.
+//
+// Commit protocol, in order (the ordering is the durability story):
+//
+//  1. drain   — the committer takes every queued request (up to the size
+//               cap), optionally lingering up to CommitWindow for more.
+//  2. apply   — under the store and writer locks, each request validates
+//               against and applies to one shared copy-on-write txn; a
+//               request that fails (duplicate id, missing id, conversion
+//               error) is excluded and its error recorded.
+//  3. frame   — the surviving mutations encode as one WAL record (a
+//               plain record when alone, an OpGroup envelope otherwise)
+//               and append as one frame: one CRC, one LSN.
+//  4. fsync   — the append syncs per policy; under FsyncAlways the group
+//               shares a single fsync.
+//  5. publish — the txn publishes as ONE new version (one epoch bump);
+//               a reader sees the whole group or none of it.
+//  6. ack     — every caller in the group is released and reads its own
+//               result.
+//
+// If the append fails, nothing publishes and every surviving caller gets
+// the error — the WAL holds no frame for the group (encode failures
+// write nothing; write/sync failures poison the log fatally), so the
+// durable state and the in-memory state cannot diverge.
+//
+// The linger heuristic is adaptive rather than a fixed window: the
+// committer waits for more work only while the forming batch is smaller
+// than the PREVIOUS group, bounded by CommitWindow. A lone sequential
+// writer therefore never waits (its previous group was 1), while a burst
+// of N writers converges on groups of ~N within two commits. This
+// matters because an fsync here costs ~100-200µs: a fixed 1ms linger
+// would ADD latency for sequential writers instead of removing it.
+
+// Group-commit defaults. The window only bounds the adaptive linger —
+// see batcher.linger — so the default is deliberately generous.
+const (
+	DefaultCommitWindow = time.Millisecond
+	DefaultCommitBatch  = 128
+)
+
+// maxGroupBytes splits an oversized drain into multiple groups so the
+// encoded frame stays safely under the WAL's 64 MiB record bound. Size
+// accounting uses conservative per-request estimates (sizeHint), hence
+// the 2x headroom.
+const maxGroupBytes = 32 << 20
+
+// commitKind discriminates the queued mutation types.
+type commitKind uint8
+
+const (
+	commitInsert commitKind = iota
+	commitDelete
+	commitInsertObject
+	commitDeleteObject
+	commitBulk
+)
+
+// commitReq is one caller's prepared mutation waiting in the commit
+// queue. The caller blocks on done; the committer fills err (nil on
+// success) before closing it.
+type commitReq struct {
+	kind  commitKind
+	id    string
+	name  string
+	label string         // delete-object: label to remove
+	obj   core.Object    // insert-object: object to add
+	st    *stored        // insert: prepared entry (cloned image, BE, signature)
+	img   *core.Image    // insert: WAL payload (the clone held by st)
+	sts   []*stored      // bulk: prepared entries
+	items []wal.BulkItem // bulk: WAL payload
+
+	size int // conservative encoded-frame contribution, bytes
+
+	err  error
+	done chan struct{}
+}
+
+// applyTo validates the request against the group's transaction state
+// and, on success, applies it and returns its WAL sub-record. The txn is
+// the batch's view of the database: an insert in this group is visible
+// to a later delete in the same group. Validation is complete before the
+// first txn mutation, so a failing request leaves the txn untouched.
+func (r *commitReq) applyTo(db *DB, m *txn) (wal.Record, error) {
+	switch r.kind {
+	case commitInsert:
+		if _, exists := m.lookup(r.id); exists {
+			return wal.Record{}, fmt.Errorf("insert %q: %w", r.id, ErrDuplicate)
+		}
+		r.st.seq = db.seq.Add(1)
+		m.add(r.st)
+		return wal.Record{Op: wal.OpInsert, ID: r.id, Name: r.name, Image: r.img}, nil
+	case commitDelete:
+		st, ok := m.lookup(r.id)
+		if !ok {
+			return wal.Record{}, fmt.Errorf("delete %q: %w", r.id, ErrNotFound)
+		}
+		m.remove(st)
+		return wal.Record{Op: wal.OpDelete, ID: r.id}, nil
+	case commitInsertObject:
+		st, ok := m.lookup(r.id)
+		if !ok {
+			return wal.Record{}, fmt.Errorf("update %q: %w", r.id, ErrNotFound)
+		}
+		next := st.Image.WithObject(r.obj)
+		be, err := core.Convert(next)
+		if err != nil {
+			return wal.Record{}, fmt.Errorf("update %q: %w", r.id, err)
+		}
+		m.replace(st, &stored{
+			Entry: Entry{ID: r.id, Name: st.Name, Image: next, BE: be},
+			seq:   st.seq,
+		})
+		return wal.Record{Op: wal.OpInsertObject, ID: r.id, Object: &r.obj}, nil
+	case commitDeleteObject:
+		st, ok := m.lookup(r.id)
+		if !ok {
+			return wal.Record{}, fmt.Errorf("update %q: %w", r.id, ErrNotFound)
+		}
+		next, found := st.Image.WithoutObject(r.label)
+		if !found {
+			return wal.Record{}, fmt.Errorf("delete object %q from %q: %w", r.label, r.id, ErrNotFound)
+		}
+		be, err := core.Convert(next)
+		if err != nil {
+			return wal.Record{}, fmt.Errorf("update %q: %w", r.id, err)
+		}
+		m.replace(st, &stored{
+			Entry: Entry{ID: r.id, Name: st.Name, Image: next, BE: be},
+			seq:   st.seq,
+		})
+		return wal.Record{Op: wal.OpDeleteObject, ID: r.id, Label: r.label}, nil
+	case commitBulk:
+		for _, st := range r.sts {
+			if _, exists := m.lookup(st.ID); exists {
+				return wal.Record{}, fmt.Errorf("bulk insert %q: %w", st.ID, ErrDuplicate)
+			}
+		}
+		for _, st := range r.sts {
+			st.seq = db.seq.Add(1)
+			m.add(st)
+		}
+		return wal.Record{Op: wal.OpBulk, Items: r.items}, nil
+	}
+	return wal.Record{}, fmt.Errorf("unknown commit kind %d", r.kind)
+}
+
+// imageSizeHint over-estimates an image's encoded JSON size.
+func imageSizeHint(img *core.Image) int {
+	n := 128
+	for _, o := range img.Objects {
+		n += 160 + 2*len(o.Label)
+	}
+	return n
+}
+
+// lookup finds the stored entry for id in the transaction's working
+// state — the base version overlaid with this mutation's changes.
+func (m *txn) lookup(id string) (*stored, bool) {
+	st, ok := m.shards[shardIndex(id, len(m.shards))].entries[id]
+	return st, ok
+}
+
+// batcher owns the commit queue and the committer goroutine.
+type batcher struct {
+	s      *Store
+	window time.Duration // upper bound on lingering; <= 0 disables lingering
+	max    int           // size cap per commit group
+
+	mu     sync.Mutex
+	queue  []*commitReq
+	closed bool
+	// hold, when non-nil, parks the committer before its next drain.
+	// Tests use it to assemble deterministic commit groups; production
+	// code never sets it.
+	hold chan struct{}
+
+	// wake carries "the queue may be non-empty" to the committer. It is
+	// buffered (capacity 1) and sent non-blocking: enqueue appends under
+	// mu BEFORE sending, so whenever the queue is non-empty a wake token
+	// is present or about to be — the committer can never sleep on a
+	// populated queue.
+	wake chan struct{}
+	done chan struct{} // closed when the committer goroutine exits
+}
+
+func newBatcher(s *Store, window time.Duration, max int) *batcher {
+	b := &batcher{
+		s:      s,
+		window: window,
+		max:    max,
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// enqueue queues a request for the next commit group.
+func (b *batcher) enqueue(req *commitReq) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrStoreClosed
+	}
+	b.queue = append(b.queue, req)
+	b.mu.Unlock()
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// submit queues the request and blocks until its commit group resolves.
+func (b *batcher) submit(req *commitReq) error {
+	req.done = make(chan struct{})
+	if err := b.enqueue(req); err != nil {
+		return err
+	}
+	<-req.done
+	return req.err
+}
+
+// take removes up to n queued requests, reporting whether the batcher
+// has been closed.
+func (b *batcher) take(n int) ([]*commitReq, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n >= len(b.queue) {
+		out := b.queue
+		b.queue = nil
+		return out, b.closed
+	}
+	out := make([]*commitReq, n)
+	copy(out, b.queue[:n])
+	b.queue = b.queue[n:]
+	return out, b.closed
+}
+
+// queued reports the current queue depth (used by tests).
+func (b *batcher) queued() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+// run is the committer goroutine: drain, linger, commit, repeat; exit
+// once closed with an empty queue. Draining continues after close so
+// every request accepted by enqueue is committed — that is Close's drain
+// guarantee.
+func (b *batcher) run() {
+	defer close(b.done)
+	for {
+		b.mu.Lock()
+		hold := b.hold
+		b.mu.Unlock()
+		if hold != nil {
+			<-hold
+		}
+		batch, closed := b.take(b.max)
+		if len(batch) == 0 {
+			if closed {
+				return
+			}
+			<-b.wake
+			continue
+		}
+		if !closed {
+			batch = b.linger(batch)
+		}
+		b.s.commitBatch(batch)
+	}
+}
+
+// linger collects the rest of the current arrival wave: concurrent
+// writers re-enter the queue within tens of microseconds of their
+// previous ack, so the committer yields the processor a couple of times
+// — letting every runnable writer reach its enqueue — and commits once
+// the queue stays empty across consecutive yields. Yielding costs
+// microseconds, so a solo sequential writer loses nothing, while a
+// timer-based gap would cost a near-millisecond scheduler sleep per
+// group on an otherwise idle machine. The window bounds the total
+// collection time for pathological arrival patterns.
+func (b *batcher) linger(batch []*commitReq) []*commitReq {
+	if b.window <= 0 {
+		return batch
+	}
+	start := time.Now()
+	quiet := 0
+	for len(batch) < b.max && quiet < 2 && time.Since(start) < b.window {
+		runtime.Gosched()
+		more, closed := b.take(b.max - len(batch))
+		batch = append(batch, more...)
+		if closed {
+			return batch
+		}
+		if len(more) == 0 {
+			quiet++
+		} else {
+			quiet = 0
+		}
+	}
+	return batch
+}
+
+// close stops accepting requests, waits for the committer to drain every
+// already-accepted request, and returns once the committer has exited.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+	<-b.done
+}
+
+// commitBatch commits a drained batch, splitting it into multiple groups
+// only if the conservative size estimate would overflow a WAL record.
+func (s *Store) commitBatch(reqs []*commitReq) {
+	for len(reqs) > 0 {
+		n, bytes := 1, reqs[0].size
+		for n < len(reqs) && bytes+reqs[n].size <= maxGroupBytes {
+			bytes += reqs[n].size
+			n++
+		}
+		s.commitGroup(reqs[:n])
+		reqs = reqs[n:]
+	}
+}
+
+// commitGroup runs steps 2-6 of the commit protocol for one group: apply
+// all requests to one shared txn, append them as one WAL frame, publish
+// one new version, release every caller.
+func (s *Store) commitGroup(reqs []*commitReq) {
+	defer func() {
+		for _, r := range reqs {
+			close(r.done)
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.db
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+
+	m := beginTxn(db.current.Load())
+	recs := make([]wal.Record, 0, len(reqs))
+	accepted := make([]*commitReq, 0, len(reqs))
+	for _, r := range reqs {
+		rec, err := r.applyTo(db, m)
+		if err != nil {
+			r.err = err
+			s.commitRejected.Add(1)
+			continue
+		}
+		recs = append(recs, rec)
+		accepted = append(accepted, r)
+	}
+	if len(recs) == 0 {
+		return // every request failed validation; nothing to log or publish
+	}
+	rec := recs[0]
+	if len(recs) > 1 {
+		rec = wal.Record{Op: wal.OpGroup, Subs: recs}
+	}
+	if err := s.append(rec); err != nil {
+		for _, r := range accepted {
+			r.err = err
+		}
+		return // nothing durable, so nothing publishes
+	}
+	db.publish(m)
+	s.commitGroups.Add(1)
+	s.commitMutations.Add(uint64(len(accepted)))
+	for {
+		cur := s.commitLargest.Load()
+		if uint64(len(accepted)) <= cur || s.commitLargest.CompareAndSwap(cur, uint64(len(accepted))) {
+			break
+		}
+	}
+}
+
+// CommitStats describes the group committer, for /healthz and tooling.
+type CommitStats struct {
+	// Enabled reports whether mutations are coalesced (false: every
+	// mutation is its own WAL frame, fsync and version).
+	Enabled bool `json:"enabled"`
+	// Window is the configured linger bound, e.g. "1ms".
+	Window string `json:"window,omitempty"`
+	// MaxBatch is the configured size cap per commit group.
+	MaxBatch int `json:"maxBatch,omitempty"`
+	// Groups counts published commit groups (one WAL frame, one fsync
+	// and one version each).
+	Groups uint64 `json:"groups"`
+	// Mutations counts mutations committed through groups; Mutations /
+	// Groups is the realised coalescing factor.
+	Mutations uint64 `json:"mutations"`
+	// Rejected counts per-caller validation failures inside groups —
+	// failures that, by the isolation invariant, left the rest of their
+	// group untouched.
+	Rejected uint64 `json:"rejected"`
+	// Largest is the biggest group committed this session.
+	Largest uint64 `json:"largest"`
+}

@@ -75,11 +75,11 @@ type DB struct {
 	searchPruned    atomic.Uint64
 }
 
-// New returns an empty database with one shard per GOMAXPROCS.
+// New returns an empty database with the default shard count.
 func New() *DB { return NewSharded(0) }
 
 // NewSharded returns an empty database with an explicit shard count
-// (n <= 0 means GOMAXPROCS).
+// (n <= 0 means the default: GOMAXPROCS, floored at 16).
 func NewSharded(n int) *DB {
 	if n <= 0 {
 		n = defaultShards()

@@ -4,15 +4,18 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"bestring/internal/core"
+	"bestring/internal/wal"
 )
 
 // mutation is one step of a randomized script, applied identically to the
@@ -258,6 +261,128 @@ func mustOpen(t *testing.T, dir string) *Store {
 	}
 	t.Cleanup(func() { s.Close() })
 	return s
+}
+
+// TestRecoveryTruncationSweepBatched extends the truncation sweep to
+// group-commit frames: build the store in phases of K concurrent
+// mutations, each phase deterministically coalesced into ONE OpGroup
+// frame (the committer is parked while the phase's callers queue up),
+// then simulate a crash at EVERY byte-truncation point of the final
+// group frame. The reopened store must byte-identically equal a phase
+// boundary — the previous one for any cut short of the full frame, the
+// final one at full length. A batch is never half-applied: there is no
+// truncation point at which recovery yields part of a group.
+func TestRecoveryTruncationSweepBatched(t *testing.T) {
+	const phases, k = 6, 4
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{
+		Fsync: FsyncAlways, SegmentBytes: 900, CheckpointBytes: -1, CommitBatch: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase p's four mutations touch disjoint ids (two fresh inserts, an
+	// object edit on the previous phase's entry, a delete of the one
+	// before that), so any arrival order inside the group reaches the
+	// same state. wants[p] is the store's own canonical snapshot after p
+	// phases — the reference for what each truncation must recover to.
+	phase := func(p int) []func() error {
+		id := func(p int, suf string) string { return fmt.Sprintf("p%02d-%s", p, suf) }
+		muts := []func() error{
+			func() error { return s.Insert(id(p, "a"), "batched", storeImage(3*p)) },
+			func() error { return s.Insert(id(p, "b"), "batched", storeImage(3*p+1)) },
+		}
+		if p >= 1 {
+			muts = append(muts, func() error {
+				return s.InsertObject(id(p-1, "a"),
+					core.Object{Label: fmt.Sprintf("X%d", p), Box: core.NewRect(7, 7, 8, 8)})
+			})
+		} else {
+			muts = append(muts, func() error { return s.Insert(id(p, "c"), "batched", storeImage(3*p+2)) })
+		}
+		if p >= 2 {
+			muts = append(muts, func() error { return s.Delete(id(p-2, "a")) })
+		} else {
+			muts = append(muts, func() error { return s.Insert(id(p, "d"), "batched", storeImage(3*p+2)) })
+		}
+		return muts
+	}
+
+	wants := make([][]byte, phases+1)
+	wants[0] = saveBytes(t, s.Save)
+	for p := 0; p < phases; p++ {
+		release := holdCommitter(t, s)
+		muts := phase(p)
+		errs := make([]error, len(muts))
+		var wg sync.WaitGroup
+		for i, fn := range muts {
+			wg.Add(1)
+			go func(i int, fn func() error) {
+				defer wg.Done()
+				errs[i] = fn()
+			}(i, fn)
+		}
+		waitQueued(t, s, k)
+		release()
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("phase %d mutation %d: %v", p, i, err)
+			}
+		}
+		wants[p+1] = saveBytes(t, s.Save)
+		if p == phases/2 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := s.StoreStats()
+	if st.Commit.Groups != phases || st.Commit.Largest != k {
+		t.Fatalf("commit stats = %+v, want %d groups of %d", st.Commit, phases, k)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := finalSegment(t, dir)
+	data, err := os.ReadFile(filepath.Join(dir, seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := lastFrameStart(t, data)
+	// The swept frame really is one whole commit group.
+	var last wal.Record
+	if err := json.Unmarshal(data[start+8:], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Op != wal.OpGroup || len(last.Subs) != k {
+		t.Fatalf("final frame is %q with %d subs, want a group of %d", last.Op, len(last.Subs), k)
+	}
+
+	for cut := start; cut <= len(data); cut++ {
+		crash := filepath.Join(t.TempDir(), fmt.Sprintf("cut%04d", cut))
+		copyDir(t, dir, crash)
+		if err := os.Truncate(filepath.Join(crash, seg), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := OpenStore(crash, StoreOptions{})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		want := wants[phases-1]
+		if cut == len(data) {
+			want = wants[phases] // complete group: nothing was lost
+		}
+		got := saveBytes(t, rs.Save)
+		if err := rs.Close(); err != nil {
+			t.Fatalf("cut=%d: close: %v", cut, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cut=%d: recovered state is not a phase boundary — a commit group was half-applied or over-truncated", cut)
+		}
+	}
 }
 
 // TestRecoveryRejectsInteriorCorruption pins the other half of the

@@ -31,9 +31,13 @@ func (st *stored) signature() core.Signature {
 	return core.SignatureOf(st.BE)
 }
 
-// defaultShards sizes the shard ring to the machine.
+// defaultShards sizes the shard ring to the machine, floored at 16:
+// shards are also the copy-on-write granularity of the commit path
+// (txn.shard copies a whole partition on first touch), so on a
+// low-core machine GOMAXPROCS alone would make every commit copy a
+// huge fraction of the database.
 func defaultShards() int {
-	return max(runtime.GOMAXPROCS(0), 1)
+	return max(runtime.GOMAXPROCS(0), 16)
 }
 
 // ShardCount returns the number of partitions of the store.

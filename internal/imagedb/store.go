@@ -48,8 +48,9 @@ const (
 // StoreOptions tune OpenStore.
 type StoreOptions struct {
 	// Shards partitions the in-memory database when the store starts
-	// empty (0 means GOMAXPROCS); a store recovered from a snapshot keeps
-	// the default shard count. Shard count never affects results.
+	// empty (0 means GOMAXPROCS floored at 16); a store recovered from a
+	// snapshot keeps the default shard count. Shard count never affects
+	// results.
 	Shards int
 	// SegmentBytes rotates the WAL at this size (0 means 4 MiB).
 	SegmentBytes int64
@@ -62,6 +63,20 @@ type StoreOptions struct {
 	// bytes accumulate since the last one (0 means 16 MiB; negative
 	// disables automatic checkpointing — Checkpoint can still be called).
 	CheckpointBytes int64
+	// CommitWindow bounds how long the group committer may linger waiting
+	// for more mutations to join a commit group (0 means 1ms; negative
+	// disables lingering — groups still form from whatever has queued).
+	// The bound is rarely reached: lingering is adaptive and a sequential
+	// writer never waits. See groupcommit.go.
+	CommitWindow time.Duration
+	// CommitBatch caps the mutations coalesced into one commit group
+	// (0 means 128).
+	CommitBatch int
+	// NoGroupCommit disables commit coalescing entirely: every mutation
+	// is validated, logged, fsynced and published on its own, as before
+	// group commit existed. This is the E11b baseline and a debugging
+	// escape hatch, not a recommended configuration.
+	NoGroupCommit bool
 }
 
 // Store is the durable image database: a DB whose every mutation is
@@ -82,12 +97,23 @@ type Store struct {
 	// interleaving WAL appends); released by Close.
 	lock *os.File
 
+	// batcher coalesces concurrent mutations into commit groups sharing
+	// one WAL frame, one fsync and one published version (groupcommit.go);
+	// nil when NoGroupCommit routes every mutation down the direct path.
+	batcher *batcher
+
 	// mu serialises mutations: WAL append order must equal apply order,
 	// and pre-log validation must see the state the record will apply to.
 	mu         sync.Mutex
 	appliedLSN uint64
 	bytesSince int64 // WAL bytes since the last checkpoint capture
 	closed     bool
+
+	// Group-commit counters (see CommitStats).
+	commitGroups    atomic.Uint64
+	commitMutations atomic.Uint64
+	commitRejected  atomic.Uint64
+	commitLargest   atomic.Uint64
 
 	// cpMu serialises checkpoints (manual and background) against each
 	// other; they hold mu only while capturing the entry list.
@@ -146,6 +172,12 @@ func OpenStore(dataDir string, opts StoreOptions) (*Store, error) {
 	}
 	if opts.CheckpointBytes == 0 {
 		opts.CheckpointBytes = DefaultCheckpointBytes
+	}
+	if opts.CommitWindow == 0 {
+		opts.CommitWindow = DefaultCommitWindow
+	}
+	if opts.CommitBatch <= 0 {
+		opts.CommitBatch = DefaultCommitBatch
 	}
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("open store: %w", err)
@@ -226,6 +258,9 @@ func OpenStore(dataDir string, opts StoreOptions) (*Store, error) {
 	}
 	s := &Store{dir: dataDir, opts: opts, db: db, log: log, lock: lock, appliedLSN: lastLSN}
 	s.checkpointLSN.Store(snapLSN)
+	if !opts.NoGroupCommit {
+		s.batcher = newBatcher(s, opts.CommitWindow, opts.CommitBatch)
+	}
 	ok = true
 	return s, nil
 }
@@ -256,6 +291,25 @@ func applyRecord(db *DB, rec wal.Record) error {
 			items[i] = BulkItem{ID: it.ID, Name: it.Name, Image: it.Image}
 		}
 		return db.BulkInsert(context.Background(), items, 0)
+	case wal.OpGroup:
+		// One commit group: the frame's CRC guarantees it arrived whole,
+		// so replay applies every sub-mutation (failed callers were
+		// excluded before the frame was written). Each sub-record bumps
+		// the epoch individually here, which is fine offline — recovery
+		// ends on the same state, and epochs restart per process anyway.
+		if len(rec.Subs) == 0 {
+			return errors.New("empty group record")
+		}
+		for i := range rec.Subs {
+			sub := &rec.Subs[i]
+			if sub.Op == wal.OpGroup {
+				return fmt.Errorf("group sub-record %d: nested group", i)
+			}
+			if err := applyRecord(db, *sub); err != nil {
+				return fmt.Errorf("group sub-record %d (%s %q): %w", i, sub.Op, sub.ID, err)
+			}
+		}
+		return nil
 	default:
 		return fmt.Errorf("unknown op %q", rec.Op)
 	}
@@ -286,7 +340,38 @@ func (s *Store) append(rec wal.Record) error {
 
 // Insert durably stores the image under id: the mutation is validated,
 // framed into the WAL (fsynced per policy) and only then applied.
+// Conversion and cloning happen before the mutation enters the commit
+// queue, so concurrent writers pay the CPU-bound half of an insert in
+// parallel and share one fsync (see groupcommit.go).
 func (s *Store) Insert(id, name string, img core.Image) error {
+	if s.batcher == nil {
+		return s.insertDirect(id, name, img)
+	}
+	if id == "" {
+		return ErrEmptyID
+	}
+	if s.db.Has(id) {
+		// Fast-fail without paying conversion. Racy only in the benign
+		// direction: the commit-time check in applyTo is authoritative.
+		return fmt.Errorf("insert %q: %w", id, ErrDuplicate)
+	}
+	be, err := core.Convert(img)
+	if err != nil {
+		return fmt.Errorf("insert %q: %w", id, err)
+	}
+	sig := core.SignatureOf(be)
+	clone := img.Clone()
+	st := &stored{
+		Entry: Entry{ID: id, Name: name, Image: clone, BE: be},
+		sig:   &sig,
+	}
+	return s.batcher.submit(&commitReq{
+		kind: commitInsert, id: id, name: name, st: st, img: &clone,
+		size: 128 + 2*(len(id)+len(name)) + imageSizeHint(&clone),
+	})
+}
+
+func (s *Store) insertDirect(id, name string, img core.Image) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -310,6 +395,19 @@ func (s *Store) Insert(id, name string, img core.Image) error {
 
 // Delete durably removes the image with the given id.
 func (s *Store) Delete(id string) error {
+	if s.batcher == nil {
+		return s.deleteDirect(id)
+	}
+	if !s.db.Has(id) {
+		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
+	}
+	return s.batcher.submit(&commitReq{
+		kind: commitDelete, id: id,
+		size: 96 + 2*len(id),
+	})
+}
+
+func (s *Store) deleteDirect(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -324,8 +422,24 @@ func (s *Store) Delete(id string) error {
 	return s.db.Delete(id)
 }
 
-// InsertObject durably adds an object to a stored image.
+// InsertObject durably adds an object to a stored image. The new image
+// is validated against the commit group's transaction state (which may
+// include earlier mutations of the same group), so the conversion runs
+// in the committer.
 func (s *Store) InsertObject(id string, o core.Object) error {
+	if s.batcher == nil {
+		return s.insertObjectDirect(id, o)
+	}
+	if !s.db.Has(id) {
+		return fmt.Errorf("update %q: %w", id, ErrNotFound)
+	}
+	return s.batcher.submit(&commitReq{
+		kind: commitInsertObject, id: id, obj: o,
+		size: 256 + 2*(len(id)+len(o.Label)),
+	})
+}
+
+func (s *Store) insertObjectDirect(id string, o core.Object) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -348,6 +462,19 @@ func (s *Store) InsertObject(id string, o core.Object) error {
 
 // DeleteObject durably removes a labelled object from a stored image.
 func (s *Store) DeleteObject(id, label string) error {
+	if s.batcher == nil {
+		return s.deleteObjectDirect(id, label)
+	}
+	if !s.db.Has(id) {
+		return fmt.Errorf("update %q: %w", id, ErrNotFound)
+	}
+	return s.batcher.submit(&commitReq{
+		kind: commitDeleteObject, id: id, label: label,
+		size: 256 + 2*(len(id)+len(label)),
+	})
+}
+
+func (s *Store) deleteObjectDirect(id, label string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -376,11 +503,37 @@ func (s *Store) DeleteObject(id, label string) error {
 // (in parallel, outside the writer lock) before a single WAL record is
 // written for it, so the log can never hold half a batch. The one-record
 // encoding bounds a batch to 64 MiB of encoded payload — split giant
-// loads into chunks (each chunk stays atomic).
+// loads into chunks (each chunk stays atomic). A bulk batch travels
+// through the commit queue as one unit: it may share a commit group (and
+// its fsync) with other mutations, but is still applied and logged
+// all-or-nothing.
 func (s *Store) BulkInsert(ctx context.Context, items []BulkItem, parallelism int) error {
 	if len(items) == 0 {
 		return nil
 	}
+	if s.batcher == nil {
+		return s.bulkInsertDirect(ctx, items, parallelism)
+	}
+	sts, err := prepareBulk(ctx, items, parallelism)
+	if err != nil {
+		return err
+	}
+	recItems := make([]wal.BulkItem, len(items))
+	size := 96
+	for i, it := range items {
+		recItems[i] = wal.BulkItem{ID: it.ID, Name: it.Name, Image: it.Image}
+		size += 96 + 2*(len(it.ID)+len(it.Name)) + imageSizeHint(&it.Image)
+	}
+	err = s.batcher.submit(&commitReq{
+		kind: commitBulk, sts: sts, items: recItems, size: size,
+	})
+	if err != nil && !errors.Is(err, ErrDuplicate) && !errors.Is(err, ErrStoreClosed) {
+		return fmt.Errorf("bulk insert (%d items): %w", len(items), err)
+	}
+	return err
+}
+
+func (s *Store) bulkInsertDirect(ctx context.Context, items []BulkItem, parallelism int) error {
 	sts, err := prepareBulk(ctx, items, parallelism)
 	if err != nil {
 		return err
@@ -486,6 +639,11 @@ func (s *Store) checkpoint() (err error) {
 	return nil
 }
 
+// Sync forces buffered WAL appends to stable storage, whatever the
+// fsync policy. Under FsyncAlways it is a no-op beyond an fsync of an
+// already-clean file.
+func (s *Store) Sync() error { return s.log.Sync() }
+
 // Close flushes the WAL and closes the store. Every acknowledged
 // mutation is durable after a clean Close under any fsync policy.
 // Further mutations return ErrStoreClosed; reads keep working against
@@ -498,6 +656,12 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.batcher != nil {
+		// Drain: requests already accepted into the commit queue are
+		// committed (and their callers released) before the committer
+		// exits; new submissions get ErrStoreClosed.
+		s.batcher.close()
+	}
 	s.wg.Wait() // let an in-flight background checkpoint finish or bail
 	err := s.log.Close()
 	if cerr := s.lock.Close(); cerr != nil && err == nil { // releases the flock
@@ -508,22 +672,34 @@ func (s *Store) Close() error {
 
 // StoreStats describes the durable layer, for /healthz and tooling.
 type StoreStats struct {
-	Dir           string    `json:"dir"`
-	LastLSN       uint64    `json:"lastLSN"`
-	CheckpointLSN uint64    `json:"checkpointLSN"`
-	Checkpoints   uint64    `json:"checkpoints"` // completed this session
-	WAL           wal.Stats `json:"wal"`
-	CheckpointErr string    `json:"checkpointErr,omitempty"`
+	Dir           string      `json:"dir"`
+	LastLSN       uint64      `json:"lastLSN"`
+	CheckpointLSN uint64      `json:"checkpointLSN"`
+	Checkpoints   uint64      `json:"checkpoints"` // completed this session
+	WAL           wal.Stats   `json:"wal"`
+	Commit        CommitStats `json:"commit"`
+	CheckpointErr string      `json:"checkpointErr,omitempty"`
 }
 
-// StoreStats reports the state of the WAL and checkpointer. (DB-level
-// occupancy is served by Stats, unchanged.)
+// StoreStats reports the state of the WAL, checkpointer and group
+// committer. (DB-level occupancy is served by Stats, unchanged.)
 func (s *Store) StoreStats() StoreStats {
 	st := StoreStats{
 		Dir:           s.dir,
 		CheckpointLSN: s.checkpointLSN.Load(),
 		Checkpoints:   s.checkpoints.Load(),
 		WAL:           s.log.Stats(),
+		Commit: CommitStats{
+			Enabled:   s.batcher != nil,
+			Groups:    s.commitGroups.Load(),
+			Mutations: s.commitMutations.Load(),
+			Rejected:  s.commitRejected.Load(),
+			Largest:   s.commitLargest.Load(),
+		},
+	}
+	if s.batcher != nil {
+		st.Commit.Window = s.opts.CommitWindow.String()
+		st.Commit.MaxBatch = s.opts.CommitBatch
 	}
 	st.LastLSN = st.WAL.LastLSN
 	if v, ok := s.cpErr.Load().(string); ok {

@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"testing"
+)
+
+// TestGroupRecordRoundTrip pins the OpGroup encoding: a commit group is
+// one frame with one LSN, its sub-records carry no LSNs of their own,
+// and LSN continuity holds across a mix of group and plain records.
+func TestGroupRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 1, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := testImage("A")
+	group := Record{Op: OpGroup, Subs: []Record{
+		{Op: OpInsert, ID: "g0", Image: &img},
+		{Op: OpInsert, ID: "g1", Image: &img},
+		{Op: OpDelete, ID: "g0"},
+	}}
+	lsn, _, err := l.Append(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 1 {
+		t.Fatalf("group consumed lsn %d, want 1", lsn)
+	}
+	appendN(t, l, 2, 0) // plain records continue the sequence at 2, 3
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, last := replayAll(t, dir, 0)
+	if last != 3 || len(recs) != 3 {
+		t.Fatalf("replayed %d records through lsn %d, want 3 through 3", len(recs), last)
+	}
+	got := recs[0]
+	if got.LSN != 1 || got.Op != OpGroup || len(got.Subs) != 3 {
+		t.Fatalf("group came back as lsn=%d op=%q with %d subs", got.LSN, got.Op, len(got.Subs))
+	}
+	for i, sub := range got.Subs {
+		if sub.LSN != 0 {
+			t.Fatalf("sub-record %d carries lsn %d, want none", i, sub.LSN)
+		}
+	}
+	for i, want := range []struct{ op, id string }{
+		{OpInsert, "g0"}, {OpInsert, "g1"}, {OpDelete, "g0"},
+	} {
+		if got.Subs[i].Op != want.op || got.Subs[i].ID != want.id {
+			t.Fatalf("sub-record %d = %s %q, want %s %q",
+				i, got.Subs[i].Op, got.Subs[i].ID, want.op, want.id)
+		}
+	}
+
+	// Inspection counts the group as one record of op "group".
+	infos, err := Inspect(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, info := range infos {
+		total += info.Records
+	}
+	if total != 3 {
+		t.Fatalf("inspect found %d records, want 3", total)
+	}
+}

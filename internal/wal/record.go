@@ -29,6 +29,7 @@ const (
 	OpInsertObject = "insert-object" // ID, Object
 	OpDeleteObject = "delete-object" // ID, Label
 	OpBulk         = "bulk"          // Items (one atomic batch)
+	OpGroup        = "group"         // Subs (one commit group)
 )
 
 // BulkItem is one image of an atomic bulk-insert record.
@@ -52,6 +53,13 @@ type Record struct {
 	Image  *core.Image  `json:"image,omitempty"`
 	Object *core.Object `json:"object,omitempty"`
 	Items  []BulkItem   `json:"items,omitempty"`
+	// Subs are the mutations of an OpGroup record — one commit group
+	// coalesced by the store's group committer into a single frame. The
+	// group consumes one LSN (the sub-records carry none of their own) and
+	// one CRC, so a crash either preserves the whole group or tears it off
+	// with the usual tail rules: a batch can never be half-replayed. Groups
+	// do not nest.
+	Subs []Record `json:"subs,omitempty"`
 }
 
 // Frame layout, little-endian:

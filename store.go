@@ -24,6 +24,18 @@ type (
 	// FsyncPolicy selects when acknowledged mutations reach stable
 	// storage.
 	FsyncPolicy = imagedb.FsyncPolicy
+	// CommitStats are a store's group-commit counters (groups committed,
+	// mutations coalesced, rejected requests, largest group).
+	CommitStats = imagedb.CommitStats
+)
+
+// Group-commit defaults: concurrent mutations coalesce into one WAL
+// frame and share one fsync; the window bounds how long a mutation may
+// wait for its group and the batch cap bounds group size. See DESIGN.md
+// section 5 and EXPERIMENTS.md E11b.
+const (
+	DefaultCommitWindow = imagedb.DefaultCommitWindow
+	DefaultCommitBatch  = imagedb.DefaultCommitBatch
 )
 
 // Fsync policies: every append (safest, the default), a background
