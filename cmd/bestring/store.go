@@ -126,11 +126,19 @@ func cmdStoreInspect(args []string) error {
 	}
 	if len(ins.RecordOps) > 0 {
 		fmt.Printf("record ops:\n")
-		for _, op := range []string{"insert", "delete", "insert-object", "delete-object", "bulk"} {
+		for _, op := range []string{"insert", "delete", "insert-object", "delete-object", "bulk", "group"} {
 			if n := ins.RecordOps[op]; n > 0 {
 				fmt.Printf("  %-14s %d\n", op, n)
 			}
 		}
+	}
+	// The audit view of a batched log: group frames expand to their
+	// sub-records, and bulk/group records to the individual mutations
+	// they acknowledged — so "logical mutations" is the write count
+	// clients observed, however aggressively the WAL coalesced.
+	if ins.Records > 0 {
+		fmt.Printf("  group sub-records %d, logical mutations %d\n",
+			ins.GroupSubRecords, ins.LogicalMutations)
 	}
 	return nil
 }

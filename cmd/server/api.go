@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"bestring"
 )
@@ -23,6 +25,10 @@ const statusClientClosedRequest = 499
 
 // maxBatchQueries bounds one POST /api/v1/search batch.
 const maxBatchQueries = 64
+
+// minLSNWait bounds how long a read carrying ?min_lsn waits for the
+// store to publish that LSN before giving up with a 404.
+const minLSNWait = 2 * time.Second
 
 // engine is the database surface the REST API serves — satisfied by both
 // the in-memory *bestring.DB and the durable *bestring.Store, so the
@@ -53,7 +59,17 @@ func newMux(e engine) http.Handler { return newMuxWith(e, 0) }
 // parallelism applied to search requests that set none (0 means
 // GOMAXPROCS, the engine default).
 func newMuxWith(e engine, defaultParallelism int) http.Handler {
-	api := &api{db: e, parallelism: defaultParallelism}
+	return newMuxRepl(e, defaultParallelism, nil, nil, "")
+}
+
+// newMuxRepl wires the full server mux including its replication role:
+// a primary additionally serves the stream/ack endpoints, a follower
+// redirects writes to primaryURL and reports its sync loop on /healthz.
+func newMuxRepl(e engine, defaultParallelism int,
+	primary *bestring.ReplicationPrimary, follower *bestring.ReplicationFollower,
+	primaryURL string) http.Handler {
+	api := &api{db: e, parallelism: defaultParallelism,
+		primary: primary, follower: follower, primaryURL: strings.TrimRight(primaryURL, "/")}
 	// A durable store additionally reports WAL/checkpoint state on
 	// /healthz, the signal an operator watches during recovery.
 	api.store, _ = e.(*bestring.Store)
@@ -69,6 +85,9 @@ func newMuxWith(e engine, defaultParallelism int) http.Handler {
 	}
 	mux.HandleFunc("POST /api/search", api.search)
 	mux.HandleFunc("POST /api/v1/search", api.searchV1)
+	if primary != nil {
+		primary.Register(mux)
+	}
 	return mux
 }
 
@@ -78,6 +97,13 @@ type api struct {
 	// parallelism is the default scoring-worker bound for requests that
 	// set none (0 means GOMAXPROCS).
 	parallelism int
+
+	// Replication role: at most one of primary/follower is set. A
+	// follower also carries the primary's base URL so refused writes can
+	// redirect there.
+	primary    *bestring.ReplicationPrimary
+	follower   *bestring.ReplicationFollower
+	primaryURL string
 }
 
 // writeJSON emits a JSON response.
@@ -143,6 +169,7 @@ func (a *api) health(w http.ResponseWriter, _ *http.Request) {
 		// fraction of exact LCS work the signature bounds saved.
 		"search": stats.Search,
 	}
+	body["role"] = a.role()
 	if a.store != nil {
 		ss := a.store.StoreStats()
 		body["durable"] = true
@@ -156,8 +183,67 @@ func (a *api) health(w http.ResponseWriter, _ *http.Request) {
 		// Group-commit counters: mutations/groups is the mean coalescing
 		// factor — how many concurrent writers shared each fsync.
 		body["commit"] = ss.Commit
+		// The replication ledger: what is durable (shippable), applied,
+		// visible to reads, and how far back the retained WAL reaches. On
+		// a follower appliedLSN is the catch-up position.
+		body["lsn"] = map[string]any{
+			"durable":  ss.WAL.DurableLSN,
+			"applied":  ss.AppliedLSN,
+			"visible":  ss.VisibleLSN,
+			"oldest":   ss.WAL.OldestLSN,
+			"segments": ss.WAL.Segments,
+		}
+		body["storeId"] = ss.StoreID
+	}
+	switch {
+	case a.primary != nil:
+		body["replication"] = map[string]any{"followers": a.primary.Followers()}
+	case a.follower != nil:
+		body["replication"] = a.follower.Status()
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// role classifies the server for /healthz: a replication primary, a
+// follower, or a standalone instance (durable or in-memory).
+func (a *api) role() string {
+	switch {
+	case a.primary != nil:
+		return "primary"
+	case a.follower != nil:
+		return "follower"
+	default:
+		return "standalone"
+	}
+}
+
+// redirectedWrite handles a mutation refused because this server is a
+// read-only follower: a 307 to the primary preserves the method and
+// body, so a client that follows redirects lands the write where it
+// belongs. Reports whether the response was written.
+func (a *api) redirectedWrite(w http.ResponseWriter, r *http.Request, err error) bool {
+	if !errors.Is(err, bestring.ErrReadOnlyReplica) {
+		return false
+	}
+	if a.primaryURL == "" {
+		writeErr(w, http.StatusForbidden, err)
+		return true
+	}
+	http.Redirect(w, r, a.primaryURL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	return true
+}
+
+// writeLSNs annotates a successful mutation response with the store's
+// post-write horizons: "lsn" is the read-your-writes token (pass it as
+// min_lsn to any replica of this store) and "durable" the fsynced
+// horizon — under -fsync always they match; under interval/never
+// durable may trail the write briefly.
+func (a *api) writeLSNs(body map[string]any) map[string]any {
+	if a.store != nil {
+		body["lsn"] = a.store.VisibleLSN()
+		body["durable"] = a.store.DurableLSN()
+	}
+	return body
 }
 
 func (a *api) listImages(w http.ResponseWriter, _ *http.Request) {
@@ -178,6 +264,9 @@ func (a *api) insertImage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := a.db.Insert(req.ID, req.Name, req.Image); err != nil {
+		if a.redirectedWrite(w, r, err) {
+			return
+		}
 		status := http.StatusBadRequest
 		if errors.Is(err, bestring.ErrDuplicate) {
 			status = http.StatusConflict
@@ -185,7 +274,7 @@ func (a *api) insertImage(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+	writeJSON(w, http.StatusCreated, a.writeLSNs(map[string]any{"id": req.ID}))
 }
 
 func (a *api) getImage(w http.ResponseWriter, r *http.Request) {
@@ -199,10 +288,13 @@ func (a *api) getImage(w http.ResponseWriter, r *http.Request) {
 
 func (a *api) deleteImage(w http.ResponseWriter, r *http.Request) {
 	if err := a.db.Delete(r.PathValue("id")); err != nil {
+		if a.redirectedWrite(w, r, err) {
+			return
+		}
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+	writeJSON(w, http.StatusOK, a.writeLSNs(map[string]any{"deleted": true}))
 }
 
 // searchRequest is the POST /api/search payload (v0). K, minScore,
@@ -394,7 +486,40 @@ type queryResponse struct {
 	Status int                   `json:"status,omitempty"` // set only on per-query batch errors
 }
 
+// waitMinLSN implements read-your-writes routing across replication: a
+// request carrying ?min_lsn=N (the "lsn" a primary write response
+// returned) waits — bounded by minLSNWait — until this store has
+// published LSN N, and 404s if it cannot, so the client retries here or
+// falls back to the primary rather than silently reading stale state.
+// Reports whether the request may proceed.
+func (a *api) waitMinLSN(w http.ResponseWriter, r *http.Request) bool {
+	s := r.URL.Query().Get("min_lsn")
+	if s == "" {
+		return true
+	}
+	lsn, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad min_lsn %q", s))
+		return false
+	}
+	if a.store == nil {
+		writeErr(w, http.StatusBadRequest, errors.New("min_lsn requires a durable store"))
+		return false
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), minLSNWait)
+	defer cancel()
+	if err := a.store.WaitVisible(ctx, lsn); err != nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf(
+			"lsn %d not visible here (at %d)", lsn, a.store.VisibleLSN()))
+		return false
+	}
+	return true
+}
+
 func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
+	if !a.waitMinLSN(w, r) {
+		return
+	}
 	var req queryRequest
 	if status, err := decodeBody(w, r, true, &req); err != nil {
 		writeErr(w, status, err)

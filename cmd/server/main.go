@@ -21,11 +21,14 @@
 //	POST   /api/search                        v0 ranked search (alias of the pipeline)
 //	GET    /api/search/dsl?q=A+left-of+B&k=5  v0 spatial-predicate search (alias)
 //	GET    /api/region?x0=&y0=&x1=&y1=&label= v0 R-tree icon lookup (alias)
+//	GET    /repl/v1/stream?after=&follower=   primary: WAL replication stream
+//	POST   /repl/v1/ack?follower=&lsn=        primary: follower progress ack
 //
 // Usage:
 //
 //	server [-addr :8081] [-data-dir DIR [-fsync always|interval|never]
-//	       [-segment-bytes N] [-commit-window 1ms] [-commit-batch 128]]
+//	       [-segment-bytes N] [-commit-window 1ms] [-commit-batch 128]
+//	       [-replicate-from URL]]
 //	       [-dbfile db.json] [-seed 0 -count 0] [-shards 0]
 //	       [-parallelism 0]
 //
@@ -41,7 +44,18 @@
 // append and share one fsync; -commit-window bounds how long a mutation
 // may linger for its group (0 commits each drained group immediately)
 // and -commit-batch caps the group size (1 disables grouping). /healthz
-// reports the coalescing counters under "commit". With -dbfile the database is loaded from the file and saved back
+// reports the coalescing counters under "commit".
+//
+// A durable server is always a capable replication primary: it serves
+// its WAL on /repl/v1/stream and reports connected followers on
+// /healthz. With -replicate-from the server instead runs as a read-only
+// follower of the named primary — it replays the primary's WAL into its
+// own store, serves the full read surface, answers writes with a 307
+// redirect to the primary, and exposes its catch-up position
+// (appliedLSN) on /healthz. Reads on either role may pass
+// ?min_lsn=N on POST /api/v1/search to wait (bounded) until that LSN is
+// visible, or receive a 404 — the read-your-writes handshake; primary
+// write responses return the "lsn" token to pass. With -dbfile the database is loaded from the file and saved back
 // atomically on shutdown; with -count a synthetic database is generated
 // (seeded into the store when one is configured and empty). -shards
 // partitions a synthetic or empty database (0 means GOMAXPROCS); a
@@ -91,6 +105,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "generator seed for -count")
 	shards := fs.Int("shards", 0, "shard count for a synthetic or empty database (0 = GOMAXPROCS)")
 	parallelism := fs.Int("parallelism", 0, "default scoring workers for search requests that set none (0 = GOMAXPROCS)")
+	replicateFrom := fs.String("replicate-from", "",
+		"primary base URL to follow (e.g. http://127.0.0.1:8081); the store becomes a read-only replica (requires -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +114,14 @@ func run(args []string) error {
 	// one-line startup error, not undefined behavior deep in the engine.
 	if *dataDir != "" && *dbfile != "" {
 		return fmt.Errorf("-data-dir and -dbfile are mutually exclusive")
+	}
+	if *replicateFrom != "" {
+		if *dataDir == "" {
+			return fmt.Errorf("-replicate-from requires -data-dir (the follower's own log and snapshots)")
+		}
+		if *count > 0 {
+			return fmt.Errorf("-replicate-from and -count are mutually exclusive: a follower's state comes from its primary")
+		}
 	}
 	if *shards < 0 {
 		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
@@ -122,10 +146,15 @@ func run(args []string) error {
 		return err
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var (
-		eng   engine
-		store *bestring.Store
-		db    *bestring.DB
+		eng      engine
+		store    *bestring.Store
+		db       *bestring.DB
+		primary  *bestring.ReplicationPrimary
+		follower *bestring.ReplicationFollower
 	)
 	if *dataDir != "" {
 		opts := bestring.StoreOptions{
@@ -134,6 +163,7 @@ func run(args []string) error {
 			SegmentBytes: *segBytes,
 			CommitBatch:  *commitBatch,
 			CommitWindow: *commitWindow,
+			Replica:      *replicateFrom != "",
 		}
 		if *commitWindow == 0 {
 			opts.CommitWindow = -1 // commit each drained group immediately
@@ -152,8 +182,31 @@ func run(args []string) error {
 			}
 		}
 		store, eng = s, s
-		log.Printf("durable store %s: %d images, fsync=%s, lsn=%d",
-			*dataDir, s.Len(), policy, s.StoreStats().LastLSN)
+		if *replicateFrom != "" {
+			// Follower: replay the primary's WAL stream in the background;
+			// the read surface serves whatever has been applied so far. A
+			// permanent sync failure (divergence, pruned backlog) leaves the
+			// server up, read-only on its last applied state — /healthz
+			// reports the condition under "replication".
+			f, err := bestring.NewReplicationFollower(s, *replicateFrom, 0)
+			if err != nil {
+				return err
+			}
+			follower = f
+			go func() {
+				if err := f.Run(ctx); err != nil {
+					log.Printf("replication stopped permanently: %v", err)
+				}
+			}()
+			log.Printf("durable store %s: following %s from lsn %d, %d images",
+				*dataDir, *replicateFrom, s.AppliedLSN(), s.Len())
+		} else {
+			// Every durable server is a capable primary: the stream and ack
+			// endpoints cost nothing until a follower connects.
+			primary = bestring.NewReplicationPrimary(s, 0)
+			log.Printf("durable store %s: %d images, fsync=%s, lsn=%d",
+				*dataDir, s.Len(), policy, s.StoreStats().LastLSN)
+		}
 	} else {
 		d, err := openDB(*dbfile, *count, *seed, *shards)
 		if err != nil {
@@ -162,7 +215,7 @@ func run(args []string) error {
 		db, eng = d, d
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newMuxWith(eng, *parallelism)}
+	srv := &http.Server{Addr: *addr, Handler: newMuxRepl(eng, *parallelism, primary, follower, *replicateFrom)}
 	errCh := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -170,9 +223,6 @@ func run(args []string) error {
 		}
 	}()
 	log.Printf("serving %d images on %s", eng.Len(), *addr)
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case err := <-errCh:
 		return err

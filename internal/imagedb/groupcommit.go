@@ -394,6 +394,7 @@ func (s *Store) commitGroup(reqs []*commitReq) {
 		return // nothing durable, so nothing publishes
 	}
 	db.publish(m)
+	s.markVisibleLocked(s.appliedLSN)
 	s.commitGroups.Add(1)
 	s.commitMutations.Add(uint64(len(accepted)))
 	for {

@@ -31,9 +31,15 @@ type StoreInspection struct {
 	// Records is the total decodable WAL record count; Replayable is the
 	// subset newer than the newest loadable snapshot — what the next
 	// OpenStore will apply.
-	Records    int    `json:"records"`
-	Replayable int    `json:"replayable"`
-	LastLSN    uint64 `json:"lastLSN"`
+	Records    int `json:"records"`
+	Replayable int `json:"replayable"`
+	// GroupSubRecords counts sub-records inside group frames, and
+	// LogicalMutations the individual mutations the log describes (group
+	// and bulk records expanded) — the audit view of a batched log, where
+	// one frame may carry dozens of acknowledged writes.
+	GroupSubRecords  int    `json:"groupSubRecords"`
+	LogicalMutations int    `json:"logicalMutations"`
+	LastLSN          uint64 `json:"lastLSN"`
 	// SnapshotLSN is the LSN of the newest loadable snapshot (0: none).
 	SnapshotLSN uint64 `json:"snapshotLSN"`
 }
@@ -72,6 +78,10 @@ func InspectStore(dataDir string) (*StoreInspection, error) {
 	ins.Segments, err = wal.Inspect(dataDir, func(rec wal.Record) {
 		ins.RecordOps[rec.Op]++
 		ins.Records++
+		if rec.Op == wal.OpGroup {
+			ins.GroupSubRecords += len(rec.Subs)
+		}
+		ins.LogicalMutations += rec.Mutations()
 		if rec.LSN > ins.SnapshotLSN {
 			ins.Replayable++
 		}

@@ -77,6 +77,12 @@ type StoreOptions struct {
 	// group commit existed. This is the E11b baseline and a debugging
 	// escape hatch, not a recommended configuration.
 	NoGroupCommit bool
+	// Replica opens the store as a read-only replication follower: local
+	// mutations return ErrReadOnlyReplica and state advances only through
+	// ApplyReplicatedBatch, which replays the primary's WAL records into
+	// this store's own log and MVCC versions (replica.go). The full read
+	// surface works unchanged.
+	Replica bool
 }
 
 // Store is the durable image database: a DB whose every mutation is
@@ -108,6 +114,27 @@ type Store struct {
 	appliedLSN uint64
 	bytesSince int64 // WAL bytes since the last checkpoint capture
 	closed     bool
+
+	// id is the store's durable random identity (the STOREID file),
+	// minted on first open. Replication uses it to detect divergence: a
+	// follower records which primary's history it embodies, and refuses
+	// to stream from any other (see internal/repl).
+	id string
+
+	// visibleLSN is the highest LSN whose effects have been PUBLISHED as
+	// an MVCC version — it trails appliedLSN by the window between WAL
+	// append and publish. Read-your-writes routing (min_lsn) waits on
+	// this, not on durability: a record can be fsynced an instant before
+	// its version is observable. visibleCh is closed and replaced on each
+	// advance, guarded by mu.
+	visibleLSN atomic.Uint64
+	visibleCh  chan struct{}
+
+	// pruneFloor, when set, caps how far checkpoints may prune the WAL:
+	// segments holding records above the returned LSN are retained even
+	// if a snapshot covers them, so a connected replication follower can
+	// still stream its backlog. Guarded by mu.
+	pruneFloor func() uint64
 
 	// Group-commit counters (see CommitStats).
 	commitGroups    atomic.Uint64
@@ -258,7 +285,13 @@ func OpenStore(dataDir string, opts StoreOptions) (*Store, error) {
 	}
 	s := &Store{dir: dataDir, opts: opts, db: db, log: log, lock: lock, appliedLSN: lastLSN}
 	s.checkpointLSN.Store(snapLSN)
-	if !opts.NoGroupCommit {
+	s.visibleLSN.Store(lastLSN) // the recovered state is fully published
+	s.visibleCh = make(chan struct{})
+	if s.id, err = loadOrCreateStoreID(dataDir); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("open store: %w", err)
+	}
+	if !opts.NoGroupCommit && !opts.Replica {
 		s.batcher = newBatcher(s, opts.CommitWindow, opts.CommitBatch)
 	}
 	ok = true
@@ -324,6 +357,13 @@ func (s *Store) append(rec wal.Record) error {
 	}
 	s.appliedLSN = lsn
 	s.bytesSince += int64(n)
+	s.maybeCheckpointLocked()
+	return nil
+}
+
+// maybeCheckpointLocked kicks off a background checkpoint when enough WAL
+// bytes have accumulated. Callers hold s.mu.
+func (s *Store) maybeCheckpointLocked() {
 	if s.opts.CheckpointBytes > 0 && s.bytesSince >= s.opts.CheckpointBytes &&
 		s.checkpointing.CompareAndSwap(false, true) {
 		s.wg.Add(1)
@@ -335,7 +375,18 @@ func (s *Store) append(rec wal.Record) error {
 			}
 		}()
 	}
-	return nil
+}
+
+// markVisibleLocked records that every LSN through lsn is observable in a
+// published MVCC version and wakes WaitVisible callers. Callers hold s.mu
+// and have just published the version applying lsn.
+func (s *Store) markVisibleLocked(lsn uint64) {
+	if lsn <= s.visibleLSN.Load() {
+		return
+	}
+	s.visibleLSN.Store(lsn)
+	close(s.visibleCh)
+	s.visibleCh = make(chan struct{})
 }
 
 // Insert durably stores the image under id: the mutation is validated,
@@ -344,6 +395,9 @@ func (s *Store) append(rec wal.Record) error {
 // queue, so concurrent writers pay the CPU-bound half of an insert in
 // parallel and share one fsync (see groupcommit.go).
 func (s *Store) Insert(id, name string, img core.Image) error {
+	if s.opts.Replica {
+		return ErrReadOnlyReplica
+	}
 	if s.batcher == nil {
 		return s.insertDirect(id, name, img)
 	}
@@ -390,11 +444,18 @@ func (s *Store) insertDirect(id, name string, img core.Image) error {
 	if err := s.append(wal.Record{Op: wal.OpInsert, ID: id, Name: name, Image: &img}); err != nil {
 		return err
 	}
-	return s.db.insertConverted(id, name, img, be)
+	if err := s.db.insertConverted(id, name, img, be); err != nil {
+		return err
+	}
+	s.markVisibleLocked(s.appliedLSN)
+	return nil
 }
 
 // Delete durably removes the image with the given id.
 func (s *Store) Delete(id string) error {
+	if s.opts.Replica {
+		return ErrReadOnlyReplica
+	}
 	if s.batcher == nil {
 		return s.deleteDirect(id)
 	}
@@ -419,7 +480,11 @@ func (s *Store) deleteDirect(id string) error {
 	if err := s.append(wal.Record{Op: wal.OpDelete, ID: id}); err != nil {
 		return err
 	}
-	return s.db.Delete(id)
+	if err := s.db.Delete(id); err != nil {
+		return err
+	}
+	s.markVisibleLocked(s.appliedLSN)
+	return nil
 }
 
 // InsertObject durably adds an object to a stored image. The new image
@@ -427,6 +492,9 @@ func (s *Store) deleteDirect(id string) error {
 // include earlier mutations of the same group), so the conversion runs
 // in the committer.
 func (s *Store) InsertObject(id string, o core.Object) error {
+	if s.opts.Replica {
+		return ErrReadOnlyReplica
+	}
 	if s.batcher == nil {
 		return s.insertObjectDirect(id, o)
 	}
@@ -457,11 +525,18 @@ func (s *Store) insertObjectDirect(id string, o core.Object) error {
 	if err := s.append(wal.Record{Op: wal.OpInsertObject, ID: id, Object: &o}); err != nil {
 		return err
 	}
-	return s.db.replaceImage(id, next, be)
+	if err := s.db.replaceImage(id, next, be); err != nil {
+		return err
+	}
+	s.markVisibleLocked(s.appliedLSN)
+	return nil
 }
 
 // DeleteObject durably removes a labelled object from a stored image.
 func (s *Store) DeleteObject(id, label string) error {
+	if s.opts.Replica {
+		return ErrReadOnlyReplica
+	}
 	if s.batcher == nil {
 		return s.deleteObjectDirect(id, label)
 	}
@@ -495,7 +570,11 @@ func (s *Store) deleteObjectDirect(id, label string) error {
 	if err := s.append(wal.Record{Op: wal.OpDeleteObject, ID: id, Label: label}); err != nil {
 		return err
 	}
-	return s.db.replaceImage(id, next, be)
+	if err := s.db.replaceImage(id, next, be); err != nil {
+		return err
+	}
+	s.markVisibleLocked(s.appliedLSN)
+	return nil
 }
 
 // BulkInsert durably inserts a batch with the same all-or-nothing
@@ -508,6 +587,9 @@ func (s *Store) deleteObjectDirect(id, label string) error {
 // its fsync) with other mutations, but is still applied and logged
 // all-or-nothing.
 func (s *Store) BulkInsert(ctx context.Context, items []BulkItem, parallelism int) error {
+	if s.opts.Replica {
+		return ErrReadOnlyReplica
+	}
 	if len(items) == 0 {
 		return nil
 	}
@@ -555,7 +637,11 @@ func (s *Store) bulkInsertDirect(ctx context.Context, items []BulkItem, parallel
 	if err := s.append(wal.Record{Op: wal.OpBulk, Items: recItems}); err != nil {
 		return fmt.Errorf("bulk insert (%d items): %w", len(items), err)
 	}
-	return s.db.installBulk(sts)
+	if err := s.db.installBulk(sts); err != nil {
+		return err
+	}
+	s.markVisibleLocked(s.appliedLSN)
+	return nil
 }
 
 // Checkpoint writes a snapshot of the current state next to the log and
@@ -616,7 +702,21 @@ func (s *Store) checkpoint() (err error) {
 	s.checkpointLSN.Store(lsn)
 	s.checkpoints.Add(1)
 
-	if err := s.log.RemoveObsolete(lsn); err != nil {
+	// The snapshot makes segments through lsn redundant for RECOVERY, but
+	// a connected replication follower may still need them: the prune
+	// floor (min acked LSN across followers, internal/repl) caps how far
+	// pruning goes. Retained segments are reclaimed by a later checkpoint
+	// once every follower has acked past them.
+	prune := lsn
+	s.mu.Lock()
+	floor := s.pruneFloor
+	s.mu.Unlock()
+	if floor != nil {
+		if f := floor(); f < prune {
+			prune = f
+		}
+	}
+	if err := s.log.RemoveObsolete(prune); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	// Older snapshots are now strictly redundant: the new one is complete
@@ -655,6 +755,9 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	// Wake WaitVisible callers so min_lsn reads fail fast on shutdown.
+	close(s.visibleCh)
+	s.visibleCh = make(chan struct{})
 	s.mu.Unlock()
 	if s.batcher != nil {
 		// Drain: requests already accepted into the commit queue are
@@ -673,7 +776,11 @@ func (s *Store) Close() error {
 // StoreStats describes the durable layer, for /healthz and tooling.
 type StoreStats struct {
 	Dir           string      `json:"dir"`
+	StoreID       string      `json:"storeId"`
+	Replica       bool        `json:"replica,omitempty"`
 	LastLSN       uint64      `json:"lastLSN"`
+	AppliedLSN    uint64      `json:"appliedLSN"`
+	VisibleLSN    uint64      `json:"visibleLSN"`
 	CheckpointLSN uint64      `json:"checkpointLSN"`
 	Checkpoints   uint64      `json:"checkpoints"` // completed this session
 	WAL           wal.Stats   `json:"wal"`
@@ -686,6 +793,10 @@ type StoreStats struct {
 func (s *Store) StoreStats() StoreStats {
 	st := StoreStats{
 		Dir:           s.dir,
+		StoreID:       s.id,
+		Replica:       s.opts.Replica,
+		AppliedLSN:    s.AppliedLSN(),
+		VisibleLSN:    s.visibleLSN.Load(),
 		CheckpointLSN: s.checkpointLSN.Load(),
 		Checkpoints:   s.checkpoints.Load(),
 		WAL:           s.log.Stats(),

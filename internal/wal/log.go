@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bestring/internal/fsutil"
@@ -87,7 +89,19 @@ type Log struct {
 	sealedN int      // sealed (non-active) segment count
 	sealedB int64    // bytes across sealed segments
 	nextLSN uint64
-	dirty   bool // unsynced appends (SyncInterval / SyncNever)
+	oldest  uint64 // first LSN of the oldest retained segment
+	dirty   bool   // unsynced appends (SyncInterval / SyncNever)
+	// durable is the highest LSN known to be on stable storage, advanced
+	// only after a successful fsync covering it (or on Open, where every
+	// replayed record is by definition the recovered truth). Replication
+	// ships records no further than this: a follower must never apply a
+	// record the primary could still lose in a crash, or a reconnect after
+	// that crash would find the follower ahead of its primary — real
+	// divergence, manufactured by the protocol itself.
+	durable atomic.Uint64
+	// durableCh is closed and replaced each time durable advances; waiters
+	// re-check and re-arm. Guarded by mu.
+	durableCh chan struct{}
 	// fatalErr is sticky: once a write, sync or rotation fails, the log
 	// may hold a record the caller never acknowledged, and a retried
 	// mutation would append a second copy that poisons replay (the first
@@ -192,7 +206,16 @@ func Open(dir string, nextLSN uint64, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, nextLSN: nextLSN}
+	l := &Log{dir: dir, opts: opts, nextLSN: nextLSN, durableCh: make(chan struct{})}
+	// Everything already replayed is the recovered truth: durable through
+	// the last existing record.
+	l.durable.Store(nextLSN - 1)
+	l.oldest = nextLSN
+	if len(names) > 0 {
+		if first, ok := parseSegmentName(names[0]); ok {
+			l.oldest = first
+		}
+	}
 	for i, name := range names {
 		info, err := os.Stat(filepath.Join(dir, name))
 		if err != nil {
@@ -262,6 +285,10 @@ func (l *Log) sealLocked() error {
 	l.size = 0
 	l.dirty = false
 	l.f = nil
+	// The seal's fsync makes every appended record durable, whatever the
+	// policy — this is why SyncNever replication still ships sealed
+	// segments.
+	l.advanceDurableLocked(l.nextLSN - 1)
 	return nil
 }
 
@@ -272,6 +299,53 @@ func (l *Log) fail(err error) error {
 		l.fatalErr = err
 	}
 	return err
+}
+
+// advanceDurableLocked records that every LSN through lsn is on stable
+// storage and wakes WaitDurable callers. Callers hold l.mu and have just
+// completed the fsync that covers lsn.
+func (l *Log) advanceDurableLocked(lsn uint64) {
+	if lsn <= l.durable.Load() {
+		return
+	}
+	l.durable.Store(lsn)
+	close(l.durableCh)
+	l.durableCh = make(chan struct{})
+}
+
+// DurableLSN returns the highest LSN known to be on stable storage: the
+// horizon replication may ship to followers. Under SyncAlways it tracks
+// every append; under SyncInterval it advances on the background flush
+// cadence; under SyncNever only on rotation, explicit Sync, or Close.
+func (l *Log) DurableLSN() uint64 { return l.durable.Load() }
+
+// ErrLogClosed reports a wait or stream cut off by Close.
+var ErrLogClosed = errors.New("wal: log closed")
+
+// WaitDurable blocks until DurableLSN() >= lsn, the context is done, or
+// the log is closed.
+func (l *Log) WaitDurable(ctx context.Context, lsn uint64) error {
+	for {
+		if l.durable.Load() >= lsn {
+			return nil
+		}
+		l.mu.Lock()
+		if l.durable.Load() >= lsn {
+			l.mu.Unlock()
+			return nil
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return ErrLogClosed
+		}
+		ch := l.durableCh
+		l.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
 }
 
 // Append assigns the record the next LSN, frames it into the active
@@ -310,10 +384,88 @@ func (l *Log) Append(rec Record) (lsn uint64, n int, err error) {
 			// not acknowledge it; a retry would duplicate the LSN stream.
 			return 0, 0, l.fail(fmt.Errorf("wal: sync record %d: %w", rec.LSN, err))
 		}
+		l.advanceDurableLocked(rec.LSN)
 	} else {
 		l.dirty = true
 	}
 	return rec.LSN, len(frame), nil
+}
+
+// AppendBatch appends pre-numbered records — each framed individually,
+// rotating as usual — sharing ONE fsync under SyncAlways. It is the
+// replication follower's ingestion path: the records arrive from the
+// primary already carrying LSNs, so unlike Append the batch must continue
+// this log's sequence exactly (recs[i].LSN == nextLSN+i) and the whole
+// batch is rejected up front if it does not. All frames are encoded
+// before the first byte reaches the file, so an encode failure writes
+// nothing and is not fatal; a write or sync failure poisons the log
+// exactly as in Append. Returns the total framed bytes.
+func (l *Log) AppendBatch(recs []Record) (int, error) {
+	return l.appendBatch(recs, nil)
+}
+
+// AppendBatchFrames is AppendBatch for records that arrived already
+// framed — a replication stream: frames[i] must be the verified wire
+// frame of recs[i], and is written verbatim, so the follower's log
+// holds the primary's bytes rather than a re-encoding.
+func (l *Log) AppendBatchFrames(recs []Record, frames [][]byte) (int, error) {
+	if len(frames) != len(recs) {
+		return 0, fmt.Errorf("wal: %d frames for %d records", len(frames), len(recs))
+	}
+	return l.appendBatch(recs, frames)
+}
+
+func (l *Log) appendBatch(recs []Record, frames [][]byte) (int, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: append on closed log")
+	}
+	if l.fatalErr != nil {
+		return 0, l.fatalErr
+	}
+	for i := range recs {
+		if recs[i].LSN != l.nextLSN+uint64(i) {
+			return 0, fmt.Errorf("wal: batch record %d has lsn %d, want %d (batch must continue the sequence)",
+				i, recs[i].LSN, l.nextLSN+uint64(i))
+		}
+	}
+	if frames == nil {
+		frames = make([][]byte, len(recs))
+		for i := range recs {
+			frame, err := encodeFrame(nil, &recs[i])
+			if err != nil {
+				return 0, err // nothing reached the file
+			}
+			frames[i] = frame
+		}
+	}
+	total := 0
+	for i, frame := range frames {
+		if l.size > 0 && l.size+int64(len(frame)) > l.opts.SegmentBytes {
+			if err := l.rotateLocked(); err != nil {
+				return total, l.fail(err)
+			}
+		}
+		if _, err := l.f.Write(frame); err != nil {
+			return total, l.fail(fmt.Errorf("wal: append record %d: %w", recs[i].LSN, err))
+		}
+		l.size += int64(len(frame))
+		l.nextLSN++
+		total += len(frame)
+	}
+	if l.opts.Policy == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return total, l.fail(fmt.Errorf("wal: sync batch through %d: %w", recs[len(recs)-1].LSN, err))
+		}
+		l.advanceDurableLocked(recs[len(recs)-1].LSN)
+	} else {
+		l.dirty = true
+	}
+	return total, nil
 }
 
 // rotateLocked seals the active segment and starts a new one. Callers
@@ -360,6 +512,7 @@ func (l *Log) Sync() error {
 		return l.fail(fmt.Errorf("wal: sync: %w", err))
 	}
 	l.dirty = false
+	l.advanceDurableLocked(l.nextLSN - 1)
 	return nil
 }
 
@@ -382,6 +535,7 @@ func (l *Log) flusher() {
 					l.fatalErr = fmt.Errorf("wal: background sync: %w", err)
 				} else {
 					l.dirty = false
+					l.advanceDurableLocked(l.nextLSN - 1)
 				}
 			}
 			l.mu.Unlock()
@@ -416,12 +570,25 @@ func (l *Log) RemoveObsolete(throughLSN uint64) error {
 		if statErr == nil {
 			l.sealedB -= info.Size()
 		}
+		if first, ok := parseSegmentName(names[i+1]); ok {
+			l.oldest = first
+		}
 		removed = true
 	}
 	if removed {
 		return fsutil.SyncDir(l.dir)
 	}
 	return nil
+}
+
+// OldestLSN returns the first LSN of the oldest retained segment — the
+// earliest point a replication stream can resume from. A follower whose
+// applied LSN is below OldestLSN-1 can no longer catch up from this log
+// and must be re-seeded.
+func (l *Log) OldestLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.oldest
 }
 
 // Stats is a point-in-time description of the log, for monitoring.
@@ -431,6 +598,8 @@ type Stats struct {
 	ActiveBytes  int64  `json:"activeBytes"`  // bytes in the active segment
 	SegmentBytes int64  `json:"segmentBytes"` // rotation threshold
 	LastLSN      uint64 `json:"lastLSN"`      // last assigned LSN (0: none yet)
+	DurableLSN   uint64 `json:"durableLSN"`   // highest fsynced LSN — the shipping horizon
+	OldestLSN    uint64 `json:"oldestLSN"`    // first LSN of the oldest retained segment
 	Fsync        string `json:"fsync"`        // policy name
 }
 
@@ -444,6 +613,8 @@ func (l *Log) Stats() Stats {
 		ActiveBytes:  l.size,
 		SegmentBytes: l.opts.SegmentBytes,
 		LastLSN:      l.nextLSN - 1,
+		DurableLSN:   l.durable.Load(),
+		OldestLSN:    l.oldest,
 		Fsync:        l.opts.Policy.String(),
 	}
 }
@@ -457,6 +628,9 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	// Wake WaitDurable callers so streams end promptly with ErrLogClosed.
+	close(l.durableCh)
+	l.durableCh = make(chan struct{})
 	stop := l.stop
 	l.mu.Unlock()
 	if stop != nil {
@@ -473,5 +647,6 @@ func (l *Log) Close() error {
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: close: %w", err)
 	}
+	l.durable.Store(l.nextLSN - 1)
 	return nil
 }

@@ -62,6 +62,25 @@ type Record struct {
 	Subs []Record `json:"subs,omitempty"`
 }
 
+// Mutations returns the number of logical mutations the record carries:
+// a group frame counts the mutations of each sub-record, a bulk record
+// one per item, and every other op exactly one. Inspection tooling uses
+// this so a batched log can be audited by what it *does*, not just how
+// many top-level frames it happens to be coalesced into.
+func (r *Record) Mutations() int {
+	switch r.Op {
+	case OpGroup:
+		n := 0
+		for i := range r.Subs {
+			n += r.Subs[i].Mutations()
+		}
+		return n
+	case OpBulk:
+		return len(r.Items)
+	}
+	return 1
+}
+
 // Frame layout, little-endian:
 //
 //	offset 0: uint32 payload length

@@ -157,6 +157,9 @@ type SegmentInfo struct {
 	FirstLSN  uint64 `json:"firstLSN"` // from the file name
 	Bytes     int64  `json:"bytes"`
 	Records   int    `json:"records"`
+	Groups    int    `json:"groups,omitempty"`    // OpGroup frames among Records
+	GroupSubs int    `json:"groupSubs,omitempty"` // sub-records across those groups
+	Mutations int    `json:"mutations"`           // logical mutations (groups and bulks expanded)
 	TornBytes int64  `json:"tornBytes,omitempty"` // trailing bytes of a torn write
 	Err       string `json:"err,omitempty"`       // interior corruption, if any
 }
@@ -182,6 +185,11 @@ func Inspect(dir string, fn func(Record)) ([]SegmentInfo, error) {
 		// Inspect is strict on purpose: anything suspicious is worth
 		// showing the operator, whatever policy wrote the log.
 		res, err := scanSegment(path, data, i == len(names)-1, false, func(_ int64, rec *Record) error {
+			if rec.Op == OpGroup {
+				info.Groups++
+				info.GroupSubs += len(rec.Subs)
+			}
+			info.Mutations += rec.Mutations()
 			if fn != nil {
 				fn(*rec)
 			}

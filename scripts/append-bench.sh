@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# append-bench.sh — append one dated entry from a benchtab CSV to a
+# tracked perf-trajectory file in the window.BENCHMARK_DATA shape
+# (github-action-benchmark's data.js format, minus the JS assignment),
+# so benchmark results are diffable across PRs as plain JSON.
+#
+# usage: scripts/append-bench.sh <bench.csv> <tracked.json> <value-column> <unit>
+#
+# example:
+#   go run ./cmd/benchtab -quick -exp e11b -csv > bench-e11b.csv
+#   scripts/append-bench.sh bench-e11b.csv dev/bench/BENCH_e11b.json 'batched rec/s' 'rec/s'
+#
+# Each data row becomes one bench named "<table-id>/<first-col>=<value>"
+# (e.g. "E11b/writers=4") with the chosen column as its value. The commit
+# block is filled from git HEAD; run from anywhere inside the repo.
+set -euo pipefail
+
+if [ $# -ne 4 ]; then
+  echo "usage: $0 <bench.csv> <tracked.json> <value-column> <unit>" >&2
+  exit 2
+fi
+csv=$1 json=$2 col=$3 unit=$4
+
+id=$(sed -n '1s/^# \([^:]*\):.*/\1/p' "$csv")
+if [ -z "$id" ]; then
+  echo "append-bench: $csv does not start with a '# <id>: <caption>' line" >&2
+  exit 1
+fi
+
+benches=$(awk -F, -v col="$col" -v id="$id" '
+  NR == 1 { next }
+  NR == 2 {
+    for (i = 1; i <= NF; i++) if ($i == col) vi = i
+    if (!vi) { printf "append-bench: column %s not in header: %s\n", col, $0 > "/dev/stderr"; exit 1 }
+    key = $1
+    next
+  }
+  NF > 1 {
+    v = $vi
+    gsub(/[x,]/, "", v) # FmtInt thousands separators, ratio "x" suffixes
+    printf "{\"name\":\"%s/%s=%s\",\"value\":%s}\n", id, key, $1, v
+  }' "$csv" | jq -s --arg unit "$unit" 'map(. + {unit: $unit})')
+
+if [ "$(echo "$benches" | jq length)" -eq 0 ]; then
+  echo "append-bench: no data rows in $csv" >&2
+  exit 1
+fi
+
+entry=$(jq -n \
+  --arg id "$(git rev-parse HEAD)" \
+  --arg msg "$(git log -1 --pretty=%s)" \
+  --arg ts "$(git log -1 --pretty=%cI)" \
+  --arg author "$(git log -1 --pretty=%an)" \
+  --argjson date "$(date +%s)000" \
+  --argjson benches "$benches" \
+  '{commit: {id: $id, message: $msg, timestamp: $ts, author: {name: $author}},
+    date: $date, tool: "benchtab", benches: $benches}')
+
+if [ ! -f "$json" ]; then
+  mkdir -p "$(dirname "$json")"
+  printf '{"lastUpdate": 0, "repoUrl": "", "entries": {}}\n' > "$json"
+fi
+tmp=$(mktemp)
+jq --argjson entry "$entry" --argjson now "$(date +%s)000" \
+  '.lastUpdate = $now | .entries["benchtab"] = ((.entries["benchtab"] // []) + [$entry])' \
+  "$json" > "$tmp"
+mv "$tmp" "$json"
+echo "append-bench: $json now holds $(jq '.entries["benchtab"] | length' "$json") entries"

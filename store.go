@@ -50,6 +50,10 @@ const (
 // ErrStoreClosed is returned by mutations on a closed Store.
 var ErrStoreClosed = imagedb.ErrStoreClosed
 
+// ErrReadOnlyReplica is returned by mutation methods on a follower
+// store (StoreOptions.Replica): writes belong on the primary.
+var ErrReadOnlyReplica = imagedb.ErrReadOnlyReplica
+
 // OpenStore opens (creating if necessary) the durable store in dataDir
 // and recovers its state. A torn final WAL record — a crash mid-append —
 // is truncated and tolerated; interior corruption aborts with a
