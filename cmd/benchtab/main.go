@@ -5,14 +5,15 @@
 // is the adversarial clique companion), E11 (durable-store write
 // throughput across fsync policy x batch size), E12 (snapshot-reader
 // throughput under 0/1/4 concurrent writers), E13 (filter-and-refine
-// pruning efficacy: signature-bound refine stage on vs off) and E14
+// pruning efficacy: signature-bound refine stage on vs off), E14
 // (replication: follower catch-up throughput vs local replay, plus
-// steady-state lag under paced writes). Run with -exp all (default) or
-// a single experiment id.
+// steady-state lag under paced writes) and E15 (observability
+// overhead: search/write paths with the metrics registry off vs on).
+// Run with -exp all (default) or a single experiment id.
 //
 // Usage:
 //
-//	benchtab [-exp e1|e2|...|e11b|...|e14|all] [-quick] [-csv]
+//	benchtab [-exp e1|e2|...|e11b|...|e15|all] [-quick] [-csv]
 package main
 
 import (
@@ -35,7 +36,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: e1..e14 (including e11b) or all")
+	exp := fs.String("exp", "all", "experiment to run: e1..e15 (including e11b) or all")
 	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +58,7 @@ func run(args []string) error {
 	pruneSelectivities := []int{10, 50, 100}
 	pruneKs := []int{1, 10, 100}
 	replSizes, replPaced, replPace := []int{2000, 8000}, 300, 2*time.Millisecond
+	obsSizes, obsQueries, obsWrites := []int{1000, 10000}, 200, 4000
 	qualityCfgs := bench.QualityConfigs(bench.DefaultSeed)
 	if *quick {
 		sweep = []int{4, 8}
@@ -72,6 +74,7 @@ func run(args []string) error {
 		pruneSelectivities = []int{10, 100}
 		pruneKs = []int{10}
 		replSizes, replPaced, replPace = []int{1000}, 80, time.Millisecond
+		obsSizes, obsQueries, obsWrites = []int{500}, 40, 800
 		qualityCfgs = qualityCfgs[:1]
 		qualityCfgs[0].Cfg = retrieval.WorkloadConfig{
 			Seed: bench.DefaultSeed, Distractors: 10, Relevant: 2, Queries: 2, Jitter: 2,
@@ -104,6 +107,9 @@ func run(args []string) error {
 		}},
 		{"e14", func() (*bench.Table, error) {
 			return bench.ReplicationCatchup(replSizes, replPaced, replPace)
+		}},
+		{"e15", func() (*bench.Table, error) {
+			return bench.ObservabilityOverhead(obsSizes, obsQueries, obsWrites)
 		}},
 	}
 
@@ -148,7 +154,7 @@ func run(args []string) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e14, e11b, or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e15, e11b, or all)", *exp)
 	}
 	return nil
 }

@@ -31,6 +31,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"bestring"
 )
@@ -299,6 +300,12 @@ func cmdSearch(args []string) error {
 		s := page.Stages
 		fmt.Printf("stages: indexed %d -> region %d -> narrowed %d -> bounded %d -> evaluated %d (pruned %d)\n",
 			s.Indexed, s.Region, s.Narrowed, s.Bounded, s.Evaluated, s.Pruned)
+		if s.TotalNanos > 0 {
+			fmt.Printf("timing: index %v + region %v + filter %v + rank %v = %v total\n",
+				time.Duration(s.IndexNanos), time.Duration(s.RegionNanos),
+				time.Duration(s.FilterNanos), time.Duration(s.RankNanos),
+				time.Duration(s.TotalNanos))
+		}
 	}
 	if page.NextCursor != "" {
 		fmt.Printf("(%d of %d results; next offset %d)\n", len(page.Hits), page.Total, *offset+len(page.Hits))

@@ -205,11 +205,11 @@ func TestSearchExplain(t *testing.T) {
 	}
 
 	// The ranking lines are byte-identical with pruning disabled; only
-	// the stage counters may differ.
+	// the stage counters (and the wall-clock timing line) may differ.
 	stripStages := func(s string) string {
 		var kept []string
 		for _, line := range strings.Split(s, "\n") {
-			if !strings.HasPrefix(line, "stages:") {
+			if !strings.HasPrefix(line, "stages:") && !strings.HasPrefix(line, "timing:") {
 				kept = append(kept, line)
 			}
 		}
@@ -230,7 +230,8 @@ func TestSearchExplain(t *testing.T) {
 	hits := 0
 	for _, line := range strings.Split(out, "\n") {
 		f := strings.Fields(line)
-		if len(f) < 4 || f[0] == "rank" || strings.HasPrefix(line, "stages:") || strings.HasPrefix(line, "(") {
+		if len(f) < 4 || f[0] == "rank" || strings.HasPrefix(line, "stages:") ||
+			strings.HasPrefix(line, "timing:") || strings.HasPrefix(line, "(") {
 			continue
 		}
 		hits++

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -48,6 +49,25 @@ type engine interface {
 	Snapshot() *bestring.Snapshot
 }
 
+// requestIDHeader propagates one request's identity across roles: a
+// client (or proxy) may set it, the server echoes it on the response,
+// and a follower's 307 write redirect carries it to the primary, so
+// one write's trace id appears in both servers' logs.
+const requestIDHeader = "X-Request-Id"
+
+// muxConfig bundles everything the server mux serves: the engine, its
+// replication role, and the observability surface (metrics registry
+// and slow-query log, both optional).
+type muxConfig struct {
+	engine      engine
+	parallelism int
+	primary     *bestring.ReplicationPrimary
+	follower    *bestring.ReplicationFollower
+	primaryURL  string
+	metrics     *bestring.MetricsRegistry
+	slowLog     *bestring.SlowQueryLog
+}
+
 // newMux wires the REST routes onto a database. Resource routes are
 // served under both /api and /api/v1; the composable query endpoint
 // POST /api/v1/search supersedes the v0 trio (POST /api/search,
@@ -59,7 +79,7 @@ func newMux(e engine) http.Handler { return newMuxWith(e, 0) }
 // parallelism applied to search requests that set none (0 means
 // GOMAXPROCS, the engine default).
 func newMuxWith(e engine, defaultParallelism int) http.Handler {
-	return newMuxRepl(e, defaultParallelism, nil, nil, "")
+	return newServerMux(muxConfig{engine: e, parallelism: defaultParallelism})
 }
 
 // newMuxRepl wires the full server mux including its replication role:
@@ -68,11 +88,21 @@ func newMuxWith(e engine, defaultParallelism int) http.Handler {
 func newMuxRepl(e engine, defaultParallelism int,
 	primary *bestring.ReplicationPrimary, follower *bestring.ReplicationFollower,
 	primaryURL string) http.Handler {
-	api := &api{db: e, parallelism: defaultParallelism,
-		primary: primary, follower: follower, primaryURL: strings.TrimRight(primaryURL, "/")}
+	return newServerMux(muxConfig{engine: e, parallelism: defaultParallelism,
+		primary: primary, follower: follower, primaryURL: primaryURL})
+}
+
+// newServerMux builds the complete handler: routes, the request-id /
+// trace middleware, per-route HTTP metrics and — when a registry is
+// configured — the GET /metrics exposition endpoint.
+func newServerMux(cfg muxConfig) http.Handler {
+	api := &api{db: cfg.engine, parallelism: cfg.parallelism,
+		primary: cfg.primary, follower: cfg.follower,
+		primaryURL: strings.TrimRight(cfg.primaryURL, "/"),
+		metrics:    cfg.metrics, slow: cfg.slowLog}
 	// A durable store additionally reports WAL/checkpoint state on
 	// /healthz, the signal an operator watches during recovery.
-	api.store, _ = e.(*bestring.Store)
+	api.store, _ = cfg.engine.(*bestring.Store)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", api.health)
 	for _, p := range []string{"/api", "/api/v1"} {
@@ -85,10 +115,13 @@ func newMuxRepl(e engine, defaultParallelism int,
 	}
 	mux.HandleFunc("POST /api/search", api.search)
 	mux.HandleFunc("POST /api/v1/search", api.searchV1)
-	if primary != nil {
-		primary.Register(mux)
+	if cfg.metrics != nil {
+		mux.Handle("GET /metrics", cfg.metrics.Handler())
 	}
-	return mux
+	if cfg.primary != nil {
+		cfg.primary.Register(mux)
+	}
+	return api.instrument(mux)
 }
 
 type api struct {
@@ -104,6 +137,123 @@ type api struct {
 	primary    *bestring.ReplicationPrimary
 	follower   *bestring.ReplicationFollower
 	primaryURL string
+
+	// Observability surface; both nil-safe (nil registry drops the HTTP
+	// metrics, nil slow log never records).
+	metrics *bestring.MetricsRegistry
+	slow    *bestring.SlowQueryLog
+}
+
+// statusWriter records the response status for the HTTP metrics. It
+// forwards Flush so the replication stream (which requires an
+// http.Flusher) works through the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// routeLabel maps a request path onto the server's route patterns, so
+// the HTTP metrics keep a small fixed label set whatever paths clients
+// probe (unmatched paths all share "other").
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/metrics", bestring.ReplStreamPath, bestring.ReplAckPath:
+		return path
+	}
+	p, ok := strings.CutPrefix(path, "/api")
+	if !ok {
+		return "other"
+	}
+	p = strings.TrimPrefix(p, "/v1")
+	switch {
+	case p == "/images":
+		return "/api/images"
+	case strings.HasPrefix(p, "/images/"):
+		return "/api/images/{id}"
+	case p == "/search":
+		return "/api/search"
+	case p == "/search/dsl":
+		return "/api/search/dsl"
+	case p == "/region":
+		return "/api/region"
+	}
+	return "other"
+}
+
+// instrument is the outermost middleware: it assigns (or validates and
+// propagates) the request id, attaches a trace to the context so the
+// query pipeline records stage spans, echoes the id on the response,
+// and — with a registry — counts and times the request per route.
+func (a *api) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(requestIDHeader)
+		if !bestring.ValidRequestID(rid) {
+			rid = bestring.NewRequestID()
+		}
+		w.Header().Set(requestIDHeader, rid)
+		r = r.WithContext(bestring.WithTrace(r.Context(), bestring.NewTrace(rid)))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if a.metrics != nil {
+			route := routeLabel(r.URL.Path)
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			a.metrics.Counter("bestring_http_requests_total",
+				"HTTP requests by route pattern and status code.",
+				"route", route, "code", strconv.Itoa(code)).Inc()
+			a.metrics.Histogram("bestring_http_request_seconds",
+				"HTTP request wall time by route pattern.",
+				bestring.MetricsDurationBuckets(), "route", route).
+				Observe(time.Since(start).Seconds())
+		}
+	})
+}
+
+// logSlow records one query on the slow-query log when its duration
+// meets the threshold. query is the compiled shape (no image payloads),
+// stages the pipeline's counters/timings when available.
+func (a *api) logSlow(r *http.Request, route string, start time.Time, query, stages any, err error) {
+	d := time.Since(start)
+	if !a.slow.Slow(d) {
+		return
+	}
+	rec := bestring.SlowQueryRecord{
+		Route:      route,
+		DurationMS: float64(d) / float64(time.Millisecond),
+		Query:      query,
+		Stages:     stages,
+	}
+	if tr := bestring.TraceFromContext(r.Context()); tr != nil {
+		rec.TraceID = tr.ID()
+		rec.Spans = tr.Spans()
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	a.slow.Record(rec)
 }
 
 // writeJSON emits a JSON response.
@@ -229,6 +379,11 @@ func (a *api) redirectedWrite(w http.ResponseWriter, r *http.Request, err error)
 		writeErr(w, http.StatusForbidden, err)
 		return true
 	}
+	// Log the redirect with the request id: the primary echoes the same
+	// id, so one write can be traced across both servers' logs.
+	if tr := bestring.TraceFromContext(r.Context()); tr != nil {
+		log.Printf("follower: redirecting %s %s to primary (request %s)", r.Method, r.URL.Path, tr.ID())
+	}
 	http.Redirect(w, r, a.primaryURL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
 	return true
 }
@@ -335,6 +490,7 @@ func (a *api) search(w http.ResponseWriter, r *http.Request) {
 	if parallelism == 0 {
 		parallelism = a.parallelism
 	}
+	start := time.Now()
 	results, err := a.db.Search(r.Context(), req.Image, bestring.SearchOptions{
 		K:              req.K,
 		Scorer:         scorer,
@@ -342,6 +498,9 @@ func (a *api) search(w http.ResponseWriter, r *http.Request) {
 		Parallelism:    parallelism,
 		LabelPrefilter: req.LabelPrefilter,
 	})
+	a.logSlow(r, "/api/search", start, map[string]any{
+		"method": req.Method, "k": req.K, "objects": len(req.Image.Objects),
+	}, nil, err)
 	if err != nil {
 		writeErr(w, queryStatus(err), err)
 		return
@@ -363,7 +522,9 @@ func (a *api) searchDSL(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	start := time.Now()
 	results, err := a.db.SearchDSL(r.Context(), q, k)
+	a.logSlow(r, "/api/search/dsl", start, map[string]any{"q": q.String(), "k": k}, nil, err)
 	if err != nil {
 		// The query parsed, so a failure here is a cancellation, a
 		// timeout, or a pipeline rejection — a client condition, not an
@@ -471,6 +632,37 @@ func buildQuery(req queryRequest, defaultParallelism int) (*bestring.Query, []be
 	return q, opts, nil
 }
 
+// queryShape reduces one v1 request to the fields worth logging on a
+// slow query: what kind of query ran, never the image payload itself.
+func queryShape(req queryRequest) map[string]any {
+	shape := map[string]any{"k": req.K}
+	if req.Image != nil {
+		shape["objects"] = len(req.Image.Objects)
+	}
+	if req.DSL != "" {
+		shape["dsl"] = req.DSL
+	}
+	if req.Region != nil {
+		shape["region"] = true
+	}
+	if req.RegionLabel != "" {
+		shape["regionLabel"] = req.RegionLabel
+	}
+	if req.Scorer != "" {
+		shape["scorer"] = req.Scorer
+	}
+	if req.Offset != 0 {
+		shape["offset"] = req.Offset
+	}
+	if req.Cursor != "" {
+		shape["cursor"] = true
+	}
+	if req.Consistent {
+		shape["consistent"] = true
+	}
+	return shape
+}
+
 // queryResponse is one evaluated query of a batch (or the whole response
 // for a single query): a page on success, an error envelope otherwise.
 type queryResponse struct {
@@ -567,6 +759,7 @@ func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		start := time.Now()
 		out := make([]queryResponse, len(req.Queries))
 		var wg sync.WaitGroup
 		for i, sub := range req.Queries {
@@ -590,6 +783,8 @@ func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
 			}(i, sub)
 		}
 		wg.Wait()
+		a.logSlow(r, "/api/v1/search", start,
+			map[string]any{"batch": len(req.Queries), "consistent": req.Consistent}, nil, nil)
 		resp := map[string]any{"results": out}
 		if snap != nil {
 			resp["epoch"] = snap.Epoch()
@@ -603,7 +798,13 @@ func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	start := time.Now()
 	page, err := runQuery(r.Context(), req, q, opts)
+	var stages any
+	if page != nil && page.Stages != nil {
+		stages = page.Stages
+	}
+	a.logSlow(r, "/api/v1/search", start, queryShape(req), stages, err)
 	if err != nil {
 		writeErr(w, queryStatus(err), err)
 		return

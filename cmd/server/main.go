@@ -7,6 +7,10 @@
 //	GET    /healthz                           liveness: snapshot epoch, entry and
 //	                                          goroutine counts (+ WAL/checkpoint
 //	                                          stats with -data-dir)
+//	GET    /metrics                           Prometheus text exposition: query
+//	                                          stage histograms, WAL/commit/
+//	                                          replication instruments, HTTP
+//	                                          counters
 //	GET    /api/images                        list stored ids
 //	POST   /api/images                        insert {"id","name","image"}
 //	GET    /api/images/{id}                   fetch one entry
@@ -30,7 +34,17 @@
 //	       [-segment-bytes N] [-commit-window 1ms] [-commit-batch 128]
 //	       [-replicate-from URL]]
 //	       [-dbfile db.json] [-seed 0 -count 0] [-shards 0]
-//	       [-parallelism 0]
+//	       [-parallelism 0] [-slow-query 0] [-pprof-addr ""]
+//
+// Observability: GET /metrics serves the engine's registry in the
+// Prometheus text format on every role (primary, follower,
+// standalone). Every request is assigned (or propagates) an
+// X-Request-Id — echoed on the response, carried through a follower's
+// 307 write redirect, and used as the trace id the query pipeline
+// records stage spans under. -slow-query logs any search at or above
+// the threshold as one JSON line on stderr (trace id, route, compiled
+// query shape, stage timings). -pprof-addr serves net/http/pprof on a
+// separate listener, keeping profiling off the public port.
 //
 // Flags are validated up front: a negative -shards/-parallelism/-count/
 // -segment-bytes/-commit-window, a -commit-batch below 1 or an unknown
@@ -73,6 +87,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -107,6 +122,10 @@ func run(args []string) error {
 	parallelism := fs.Int("parallelism", 0, "default scoring workers for search requests that set none (0 = GOMAXPROCS)")
 	replicateFrom := fs.String("replicate-from", "",
 		"primary base URL to follow (e.g. http://127.0.0.1:8081); the store becomes a read-only replica (requires -data-dir)")
+	slowQuery := fs.Duration("slow-query", 0,
+		"log searches at or above this latency as JSON lines on stderr (0 disables)")
+	pprofAddr := fs.String("pprof-addr", "",
+		"serve net/http/pprof on this separate address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -141,6 +160,9 @@ func run(args []string) error {
 	if *count < 0 {
 		return fmt.Errorf("-count must be >= 0, got %d", *count)
 	}
+	if *slowQuery < 0 {
+		return fmt.Errorf("-slow-query must be >= 0, got %v", *slowQuery)
+	}
 	policy, err := bestring.ParseFsyncPolicy(*fsyncS)
 	if err != nil {
 		return err
@@ -148,6 +170,13 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Metrics are always on: the instruments are lock-striped atomics
+	// whose cost is negligible against a search or an fsync (E15 pins
+	// the overhead under 2%), and a scrape endpoint nobody polls costs
+	// nothing.
+	reg := bestring.NewMetricsRegistry()
+	slowLog := bestring.NewSlowQueryLog(os.Stderr, *slowQuery)
 
 	var (
 		eng      engine
@@ -182,6 +211,7 @@ func run(args []string) error {
 			}
 		}
 		store, eng = s, s
+		s.EnableMetrics(reg)
 		if *replicateFrom != "" {
 			// Follower: replay the primary's WAL stream in the background;
 			// the read surface serves whatever has been applied so far. A
@@ -193,6 +223,7 @@ func run(args []string) error {
 				return err
 			}
 			follower = f
+			f.EnableMetrics(reg)
 			go func() {
 				if err := f.Run(ctx); err != nil {
 					log.Printf("replication stopped permanently: %v", err)
@@ -204,6 +235,7 @@ func run(args []string) error {
 			// Every durable server is a capable primary: the stream and ack
 			// endpoints cost nothing until a follower connects.
 			primary = bestring.NewReplicationPrimary(s, 0)
+			primary.EnableMetrics(reg)
 			log.Printf("durable store %s: %d images, fsync=%s, lsn=%d",
 				*dataDir, s.Len(), policy, s.StoreStats().LastLSN)
 		}
@@ -213,9 +245,32 @@ func run(args []string) error {
 			return err
 		}
 		db, eng = d, d
+		d.EnableMetrics(reg)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newMuxRepl(eng, *parallelism, primary, follower, *replicateFrom)}
+	if *pprofAddr != "" {
+		// pprof runs on its own listener with an explicit mux: the
+		// profiling surface never shares a port with the public API, and
+		// nothing registers on http.DefaultServeMux.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServerMux(muxConfig{
+		engine: eng, parallelism: *parallelism,
+		primary: primary, follower: follower, primaryURL: *replicateFrom,
+		metrics: reg, slowLog: slowLog,
+	})}
 	errCh := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

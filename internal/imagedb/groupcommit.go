@@ -93,6 +93,10 @@ type commitReq struct {
 
 	size int // conservative encoded-frame contribution, bytes
 
+	// enqueuedAt is stamped by enqueue only while store metrics are
+	// enabled; it feeds the commit-queue-wait histogram. Zero otherwise.
+	enqueuedAt time.Time
+
 	err  error
 	done chan struct{}
 }
@@ -219,6 +223,9 @@ func newBatcher(s *Store, window time.Duration, max int) *batcher {
 
 // enqueue queues a request for the next commit group.
 func (b *batcher) enqueue(req *commitReq) error {
+	if b.s.metrics.Load() != nil {
+		req.enqueuedAt = time.Now()
+	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -361,6 +368,17 @@ func (s *Store) commitGroup(reqs []*commitReq) {
 			close(r.done)
 		}
 	}()
+	met := s.metrics.Load()
+	var t0 time.Time
+	if met != nil {
+		t0 = time.Now()
+		met.batchSize.Observe(float64(len(reqs)))
+		for _, r := range reqs {
+			if !r.enqueuedAt.IsZero() {
+				met.queueWaitSeconds.Observe(t0.Sub(r.enqueuedAt).Seconds())
+			}
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	db := s.db
@@ -370,18 +388,20 @@ func (s *Store) commitGroup(reqs []*commitReq) {
 	m := beginTxn(db.current.Load())
 	recs := make([]wal.Record, 0, len(reqs))
 	accepted := make([]*commitReq, 0, len(reqs))
+	rejected := 0
 	for _, r := range reqs {
 		rec, err := r.applyTo(db, m)
 		if err != nil {
 			r.err = err
-			s.commitRejected.Add(1)
+			rejected++
 			continue
 		}
 		recs = append(recs, rec)
 		accepted = append(accepted, r)
 	}
 	if len(recs) == 0 {
-		return // every request failed validation; nothing to log or publish
+		s.noteCommit(0, rejected) // every request failed validation; nothing to log or publish
+		return
 	}
 	rec := recs[0]
 	if len(recs) > 1 {
@@ -391,17 +411,30 @@ func (s *Store) commitGroup(reqs []*commitReq) {
 		for _, r := range accepted {
 			r.err = err
 		}
+		s.noteCommit(0, rejected)
 		return // nothing durable, so nothing publishes
 	}
 	db.publish(m)
 	s.markVisibleLocked(s.appliedLSN)
-	s.commitGroups.Add(1)
-	s.commitMutations.Add(uint64(len(accepted)))
-	for {
-		cur := s.commitLargest.Load()
-		if uint64(len(accepted)) <= cur || s.commitLargest.CompareAndSwap(cur, uint64(len(accepted))) {
-			break
-		}
+	s.noteCommit(len(accepted), rejected)
+	if met != nil {
+		met.groupSeconds.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// noteCommit folds one commit group's outcome into the coherent tally
+// under commitMu; accepted == 0 means the group published nothing.
+func (s *Store) noteCommit(accepted, rejected int) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.commitTally.rejected += uint64(rejected)
+	if accepted == 0 {
+		return
+	}
+	s.commitTally.groups++
+	s.commitTally.mutations += uint64(accepted)
+	if uint64(accepted) > s.commitTally.largest {
+		s.commitTally.largest = uint64(accepted)
 	}
 }
 

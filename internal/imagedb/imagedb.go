@@ -66,13 +66,17 @@ type DB struct {
 	// to reconstruct insertion order across shards.
 	seq atomic.Uint64
 
-	// Cumulative filter-and-refine counters (see SearchStats), bumped
-	// once per executed query from its page's stage counts.
-	searchQueries   atomic.Uint64
-	searchNarrowed  atomic.Uint64
-	searchBounded   atomic.Uint64
-	searchEvaluated atomic.Uint64
-	searchPruned    atomic.Uint64
+	// Cumulative filter-and-refine counters (see SearchStats), folded in
+	// once per executed query under one mutex — not per-field atomics —
+	// so Stats() always reads a coherent combination: a scrape can never
+	// observe the narrowed total of query N+1 next to the query count of
+	// N. The lock is taken once per query, not per candidate.
+	searchMu sync.Mutex
+	search   SearchStats
+
+	// metrics is nil until EnableMetrics; an atomic pointer so metrics
+	// can be enabled while the DB is already serving.
+	metrics atomic.Pointer[dbMetrics]
 }
 
 // New returns an empty database with the default shard count.

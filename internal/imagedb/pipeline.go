@@ -7,8 +7,10 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"bestring/internal/core"
+	"bestring/internal/obs"
 )
 
 // Hit is one result of a composed query.
@@ -70,6 +72,51 @@ type StageCounts struct {
 	// between Evaluated and Pruned can vary run to run (it depends on
 	// how fast each worker's top-K floor rises); the ranking cannot.
 	Pruned int `json:"pruned"`
+
+	// Per-stage wall-clock time in nanoseconds, chained so the four
+	// stage timers cover the pipeline body with no gaps; TotalNanos
+	// additionally covers scorer resolution and query conversion before
+	// stage 1. Omitted from JSON when zero (e.g. pages decoded from old
+	// servers). These feed the bestring_query_stage_seconds histograms
+	// and the slow-query log, and are the raw selectivity/latency
+	// statistics the planned cost-based planner needs.
+	IndexNanos  int64 `json:"indexNs,omitempty"`
+	RegionNanos int64 `json:"regionNs,omitempty"`
+	FilterNanos int64 `json:"filterNs,omitempty"`
+	RankNanos   int64 `json:"rankNs,omitempty"`
+	TotalNanos  int64 `json:"totalNs,omitempty"`
+}
+
+// sinceNanos returns the nanoseconds elapsed since *t and resets *t to
+// now, so consecutive stage timers chain without gaps or overlap.
+func sinceNanos(t *time.Time) int64 {
+	now := time.Now()
+	d := now.Sub(*t)
+	*t = now
+	return int64(d)
+}
+
+// recordSpans mirrors one executed query's stage timings onto the
+// request trace (when one rides the context), so a slow-query log
+// entry shows where inside the pipeline the time went.
+func recordSpans(ctx context.Context, start time.Time, sc *StageCounts) {
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		return
+	}
+	at := start
+	for _, s := range []struct {
+		name string
+		ns   int64
+	}{
+		{"stage.index", sc.IndexNanos},
+		{"stage.region", sc.RegionNanos},
+		{"stage.filter", sc.FilterNanos},
+		{"stage.rank", sc.RankNanos},
+	} {
+		tr.AddSpan(s.name, at, time.Duration(s.ns))
+		at = at.Add(time.Duration(s.ns))
+	}
 }
 
 // candidate is one image that survived the narrowing stages, with its
@@ -209,16 +256,22 @@ func (db *DB) execute(ctx context.Context, q *Query) (*Page, error) {
 }
 
 // noteSearch folds one query's stage counts into the DB's cumulative
-// filter-and-refine counters.
+// filter-and-refine counters (one mutex, so readers get a coherent
+// snapshot) and into the registry when metrics are enabled.
 func (db *DB) noteSearch(sc *StageCounts) {
 	if sc == nil {
 		return
 	}
-	db.searchQueries.Add(1)
-	db.searchNarrowed.Add(uint64(sc.Narrowed))
-	db.searchBounded.Add(uint64(sc.Bounded))
-	db.searchEvaluated.Add(uint64(sc.Evaluated))
-	db.searchPruned.Add(uint64(sc.Pruned))
+	db.searchMu.Lock()
+	db.search.Queries++
+	db.search.Narrowed += uint64(sc.Narrowed)
+	db.search.Bounded += uint64(sc.Bounded)
+	db.search.Evaluated += uint64(sc.Evaluated)
+	db.search.Pruned += uint64(sc.Pruned)
+	db.searchMu.Unlock()
+	if m := db.metrics.Load(); m != nil {
+		m.observeQuery(sc)
+	}
 }
 
 // executeOn runs the staged pipeline against one pinned, immutable
@@ -234,6 +287,7 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 	if q.image == nil && q.dsl == nil && q.region == nil {
 		return nil, fmt.Errorf("empty query: need an image, a where clause or a region")
 	}
+	start := time.Now()
 
 	// Resolve the scorer up front so an unknown name fails fast even if
 	// no candidate survives the filters. A registry scorer may carry an
@@ -267,6 +321,7 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 	// containing at least one of its labels (an image satisfying any
 	// clause must), otherwise an explicit LabelPrefilter narrows to
 	// images sharing an icon label with the query image.
+	mark := time.Now()
 	var labels []string
 	prefilter := false
 	switch {
@@ -281,6 +336,7 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 	}
 	cands0 := snap.collect(labels, prefilter)
 	stages := &StageCounts{Indexed: len(cands0)}
+	stages.IndexNanos = sinceNanos(&mark)
 
 	// Stage 2 — R-tree region probe: keep images with an icon in the
 	// region before any per-image work.
@@ -295,6 +351,7 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 		cands0 = kept
 	}
 	stages.Region = len(cands0)
+	stages.RegionNanos = sinceNanos(&mark)
 
 	// Stage 3 — spatial-predicate evaluation. With a ranked component
 	// the clause is a filter (default: every constraint must hold);
@@ -351,10 +408,13 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 	}
 
 	stages.Narrowed = len(cands)
+	stages.FilterNanos = sinceNanos(&mark)
 	if len(cands) == 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		stages.TotalNanos = int64(time.Since(start))
+		recordSpans(ctx, start, stages)
 		return &Page{Hits: []Hit{}, Epoch: snap.epoch, Stages: stages}, nil
 	}
 
@@ -509,5 +569,8 @@ feed:
 	if q.k > 0 && len(page.Hits) == q.k && total > q.offset+q.k {
 		page.NextCursor = encodeCursor(ranked[len(ranked)-1], snap.epoch)
 	}
+	stages.RankNanos = sinceNanos(&mark)
+	stages.TotalNanos = int64(time.Since(start))
+	recordSpans(ctx, start, stages)
 	return page, nil
 }

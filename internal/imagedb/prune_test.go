@@ -317,4 +317,3 @@ func TestSignatureColumnSurvivesPersistence(t *testing.T) {
 		t.Fatalf("pruning inactive after load: %+v vs %+v", got.Stages, want.Stages)
 	}
 }
-

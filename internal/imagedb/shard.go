@@ -87,12 +87,8 @@ type Stats struct {
 // BulkInsert is visible either entirely or not at all.
 func (db *DB) Stats() Stats {
 	st := db.current.Load().stats()
-	st.Search = SearchStats{
-		Queries:   db.searchQueries.Load(),
-		Narrowed:  db.searchNarrowed.Load(),
-		Bounded:   db.searchBounded.Load(),
-		Evaluated: db.searchEvaluated.Load(),
-		Pruned:    db.searchPruned.Load(),
-	}
+	db.searchMu.Lock()
+	st.Search = db.search
+	db.searchMu.Unlock()
 	return st
 }

@@ -136,11 +136,24 @@ type Store struct {
 	// still stream its backlog. Guarded by mu.
 	pruneFloor func() uint64
 
-	// Group-commit counters (see CommitStats).
-	commitGroups    atomic.Uint64
-	commitMutations atomic.Uint64
-	commitRejected  atomic.Uint64
-	commitLargest   atomic.Uint64
+	// Group-commit counters (see CommitStats), folded in once per commit
+	// group under one mutex — not per-field atomics — so StoreStats (and
+	// a /metrics scrape through it) can never serve a torn combination
+	// like mutations < groups.
+	commitMu    sync.Mutex
+	commitTally struct {
+		groups, mutations, rejected, largest uint64
+	}
+
+	// metrics is nil until EnableMetrics; an atomic pointer so metrics
+	// can be enabled while the store is already committing.
+	metrics atomic.Pointer[storeMetrics]
+
+	// Torn-tail recovery outcome of this process's OpenStore, surfaced
+	// as bestring_wal_torn_tail_recoveries_total. Written once before
+	// the Store is shared, read-only afterwards.
+	recoveredTornTails int
+	recoveredTornBytes int64
 
 	// cpMu serialises checkpoints (manual and background) against each
 	// other; they hold mu only while capturing the entry list.
@@ -268,12 +281,13 @@ func OpenStore(dataDir string, opts StoreOptions) (*Store, error) {
 	if p, ok := wal.WrittenPolicy(dataDir); ok {
 		tolerantTail = p != wal.SyncAlways
 	}
-	lastLSN, err := wal.Replay(dataDir, snapLSN, tolerantTail, func(rec wal.Record) error {
+	rinfo, err := wal.Recover(dataDir, snapLSN, tolerantTail, func(rec wal.Record) error {
 		return applyRecord(db, rec)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("open store: %w", err)
 	}
+	lastLSN := rinfo.LastLSN
 
 	log, err := wal.Open(dataDir, lastLSN+1, wal.Options{
 		SegmentBytes: opts.SegmentBytes,
@@ -283,7 +297,10 @@ func OpenStore(dataDir string, opts StoreOptions) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("open store: %w", err)
 	}
-	s := &Store{dir: dataDir, opts: opts, db: db, log: log, lock: lock, appliedLSN: lastLSN}
+	s := &Store{
+		dir: dataDir, opts: opts, db: db, log: log, lock: lock, appliedLSN: lastLSN,
+		recoveredTornTails: rinfo.TornTails, recoveredTornBytes: rinfo.TornBytes,
+	}
 	s.checkpointLSN.Store(snapLSN)
 	s.visibleLSN.Store(lastLSN) // the recovered state is fully published
 	s.visibleCh = make(chan struct{})
@@ -791,6 +808,15 @@ type StoreStats struct {
 // StoreStats reports the state of the WAL, checkpointer and group
 // committer. (DB-level occupancy is served by Stats, unchanged.)
 func (s *Store) StoreStats() StoreStats {
+	s.commitMu.Lock()
+	commit := CommitStats{
+		Enabled:   s.batcher != nil,
+		Groups:    s.commitTally.groups,
+		Mutations: s.commitTally.mutations,
+		Rejected:  s.commitTally.rejected,
+		Largest:   s.commitTally.largest,
+	}
+	s.commitMu.Unlock()
 	st := StoreStats{
 		Dir:           s.dir,
 		StoreID:       s.id,
@@ -800,13 +826,7 @@ func (s *Store) StoreStats() StoreStats {
 		CheckpointLSN: s.checkpointLSN.Load(),
 		Checkpoints:   s.checkpoints.Load(),
 		WAL:           s.log.Stats(),
-		Commit: CommitStats{
-			Enabled:   s.batcher != nil,
-			Groups:    s.commitGroups.Load(),
-			Mutations: s.commitMutations.Load(),
-			Rejected:  s.commitRejected.Load(),
-			Largest:   s.commitLargest.Load(),
-		},
+		Commit:        commit,
 	}
 	if s.batcher != nil {
 		st.Commit.Window = s.opts.CommitWindow.String()

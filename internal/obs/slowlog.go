@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowLog writes one JSON line per query whose latency meets a
+// threshold. A nil *SlowLog is a valid disabled logger: Slow always
+// reports false and Record is a no-op, mirroring the nil-instrument
+// convention of the registry.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu  sync.Mutex
+	enc *json.Encoder
+
+	logged Counter
+}
+
+// SlowQuery is one slow-query log entry. Query and Stages are
+// caller-shaped (the compiled query shape and the pipeline's stage
+// counters/timings); both marshal inline.
+type SlowQuery struct {
+	TS         string       `json:"ts"`
+	TraceID    string       `json:"traceId,omitempty"`
+	Route      string       `json:"route"`
+	DurationMS float64      `json:"durationMs"`
+	Query      any          `json:"query,omitempty"`
+	Stages     any          `json:"stages,omitempty"`
+	Spans      []SpanRecord `json:"spans,omitempty"`
+	Err        string       `json:"error,omitempty"`
+}
+
+// NewSlowLog returns a logger writing JSON lines to w for queries
+// taking at least threshold. A threshold <= 0 disables logging: the
+// returned logger is nil.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	if threshold <= 0 || w == nil {
+		return nil
+	}
+	return &SlowLog{threshold: threshold, enc: json.NewEncoder(w)}
+}
+
+// Slow reports whether a query of duration d should be logged.
+func (l *SlowLog) Slow(d time.Duration) bool {
+	return l != nil && d >= l.threshold
+}
+
+// Threshold returns the configured threshold (0 when disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Record writes one entry, stamping TS if unset. Serialised so
+// concurrent handlers never interleave lines.
+func (l *SlowLog) Record(q SlowQuery) {
+	if l == nil {
+		return
+	}
+	if q.TS == "" {
+		q.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	l.mu.Lock()
+	err := l.enc.Encode(q)
+	l.mu.Unlock()
+	if err == nil {
+		l.logged.Inc()
+	}
+}
+
+// Logged returns how many entries were written (for tests/metrics).
+func (l *SlowLog) Logged() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.logged.Value()
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// A Trace is one request-scoped collection of timed spans, identified
+// by an X-Request-Id style id. Traces travel on context.Context via
+// WithTrace/FromContext; every method is nil-safe so instrumented code
+// can run with no trace attached at zero branching cost.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// SpanRecord is one finished span, offsets relative to trace start.
+type SpanRecord struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"startUs"`
+	DurUS   int64  `json:"durUs"`
+}
+
+// NewTrace starts a trace with the given id; an empty id mints one.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewRequestID()
+	}
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace id ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Spans returns a copy of the finished spans so far.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// AddSpan records an already-measured segment (used by code that
+// times work itself, e.g. the pipeline's stage timers).
+func (t *Trace) AddSpan(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	rec := SpanRecord{Name: name, StartUS: start.Sub(t.start).Microseconds(), DurUS: d.Microseconds()}
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// Span is an in-flight timed section; End records it on its trace.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a span. On a nil trace it returns nil, and
+// (*Span)(nil).End() is a no-op, so `defer tr.StartSpan("x").End()`
+// is always safe.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// End finishes the span and records it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.AddSpan(s.name, s.start, time.Since(s.start))
+}
+
+type traceKey struct{}
+
+// WithTrace attaches t to ctx (returns ctx unchanged when t is nil).
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the attached trace, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// NewRequestID mints a 16-hex-char request id. math/rand/v2 is seeded
+// per process and lock-free per P; ids need to be unique-enough for
+// log correlation, not cryptographic.
+func NewRequestID() string {
+	var b [8]byte
+	v := rand.Uint64()
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether an incoming X-Request-Id is safe to
+// propagate: 1–64 chars of [A-Za-z0-9._-]. Anything else is replaced
+// with a fresh id so logs and headers can't be polluted.
+func ValidRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

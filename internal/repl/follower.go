@@ -76,6 +76,12 @@ type Follower struct {
 	reconnects atomic.Uint64
 	remoteLSN  atomic.Uint64 // primary durable LSN last observed (headers/heartbeats)
 
+	// metrics is nil until EnableMetrics; published atomically so it
+	// can be enabled while the sync loop is running.
+	metrics      atomic.Pointer[followerMetrics]
+	lastBeat     atomic.Int64 // unixnano of the last frame off the stream
+	lastCaughtUp atomic.Int64 // unixnano of the last applied >= remote observation
+
 	mu        sync.Mutex
 	connected bool
 	lastErr   string
@@ -107,12 +113,14 @@ func NewFollower(store *imagedb.Store, primaryURL string, batchMax int) (*Follow
 	if batchMax <= 0 {
 		batchMax = DefaultBatchMax
 	}
-	return &Follower{
+	f := &Follower{
 		store:      store,
 		primaryURL: strings.TrimRight(primaryURL, "/"),
 		client:     &http.Client{}, // no overall timeout: the stream is unbounded
 		batchMax:   batchMax,
-	}, nil
+	}
+	f.lastCaughtUp.Store(time.Now().UnixNano())
+	return f, nil
 }
 
 // Status reports the sync loop's current state.
@@ -286,8 +294,21 @@ func (f *Follower) consume(ctx context.Context, body io.Reader) error {
 		if len(batch) == 0 {
 			return nil
 		}
+		m := f.metrics.Load()
+		var t0 time.Time
+		if m != nil {
+			t0 = time.Now()
+		}
 		if err := f.store.ApplyReplicatedFrames(batch, frames); err != nil {
 			return &applyError{err: err}
+		}
+		if m != nil {
+			m.applySeconds.Observe(time.Since(t0).Seconds())
+			m.appliedBatches.Inc()
+			m.appliedRecords.Add(uint64(len(batch)))
+		}
+		if f.store.AppliedLSN() >= f.remoteLSN.Load() {
+			f.lastCaughtUp.Store(time.Now().UnixNano())
 		}
 		batch = batch[:0]
 		frames = frames[:0]
@@ -314,6 +335,7 @@ func (f *Follower) consume(ctx context.Context, body io.Reader) error {
 				}
 				return first.err
 			}
+			f.lastBeat.Store(time.Now().UnixNano())
 			if first.rec.Op == OpHeartbeat {
 				// Idle horizon marker: flush whatever is pending and ack so
 				// the primary's lag view (and prune floor) advances even
@@ -322,6 +344,9 @@ func (f *Follower) consume(ctx context.Context, body io.Reader) error {
 					return err
 				}
 				f.remoteLSN.Store(first.rec.LSN)
+				if f.store.AppliedLSN() >= first.rec.LSN {
+					f.lastCaughtUp.Store(time.Now().UnixNano())
+				}
 				f.ack(ctx)
 				lastAck = time.Now()
 			} else {

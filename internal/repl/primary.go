@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bestring/internal/imagedb"
@@ -29,6 +30,10 @@ const followerTTL = 15 * time.Minute
 type Primary struct {
 	store     *imagedb.Store
 	heartbeat time.Duration
+
+	// metrics is nil until EnableMetrics; published atomically so it
+	// can be enabled while streams are live.
+	metrics atomic.Pointer[primaryMetrics]
 
 	mu        sync.Mutex
 	followers map[string]*followerState
@@ -141,6 +146,9 @@ func (p *Primary) handleAck(w http.ResponseWriter, r *http.Request) {
 		f.ackedLSN = lsn
 	}
 	p.mu.Unlock()
+	if m := p.metrics.Load(); m != nil {
+		m.acks.Inc()
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -190,6 +198,10 @@ func (p *Primary) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	met := p.metrics.Load()
+	if met != nil {
+		met.streams.Inc()
+	}
 	p.mu.Lock()
 	f := p.touchLocked(id)
 	f.connections++
@@ -212,6 +224,9 @@ func (p *Primary) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		heartbeat := frame == nil
 		if heartbeat {
+			if met != nil {
+				met.heartbeats.Inc()
+			}
 			// Heartbeats are synthesised, so they are the only records that
 			// pay an encode; real records forward the stored bytes verbatim.
 			rec := wal.Record{Op: OpHeartbeat, LSN: lsn}

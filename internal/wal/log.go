@@ -112,6 +112,10 @@ type Log struct {
 	fatalErr error
 	closed   bool
 
+	// metrics is nil until EnableMetrics; read under mu on every append
+	// path, so the disabled cost is one nil check.
+	metrics *logMetrics
+
 	stop chan struct{} // closes the SyncInterval flusher
 	done chan struct{}
 }
@@ -274,7 +278,7 @@ func (l *Log) createSegmentLocked() error {
 // sealLocked syncs and closes the active segment, moving it to the sealed
 // tally. Callers hold l.mu.
 func (l *Log) sealLocked() error {
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncActiveLocked(); err != nil {
 		return fmt.Errorf("wal: seal segment: %w", err)
 	}
 	if err := l.f.Close(); err != nil {
@@ -360,6 +364,11 @@ func (l *Log) Append(rec Record) (lsn uint64, n int, err error) {
 	if l.fatalErr != nil {
 		return 0, 0, l.fatalErr
 	}
+	m := l.metrics
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	rec.LSN = l.nextLSN
 	frame, err := encodeFrame(nil, &rec)
 	if err != nil {
@@ -379,7 +388,7 @@ func (l *Log) Append(rec Record) (lsn uint64, n int, err error) {
 	l.size += int64(len(frame))
 	l.nextLSN++
 	if l.opts.Policy == SyncAlways {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncActiveLocked(); err != nil {
 			// The record is written but not durable, and the caller will
 			// not acknowledge it; a retry would duplicate the LSN stream.
 			return 0, 0, l.fail(fmt.Errorf("wal: sync record %d: %w", rec.LSN, err))
@@ -387,6 +396,11 @@ func (l *Log) Append(rec Record) (lsn uint64, n int, err error) {
 		l.advanceDurableLocked(rec.LSN)
 	} else {
 		l.dirty = true
+	}
+	if m != nil {
+		m.appendSeconds.Observe(time.Since(t0).Seconds())
+		m.appends.Inc()
+		m.appendBytes.Add(uint64(len(frame)))
 	}
 	return rec.LSN, len(frame), nil
 }
@@ -427,6 +441,11 @@ func (l *Log) appendBatch(recs []Record, frames [][]byte) (int, error) {
 	if l.fatalErr != nil {
 		return 0, l.fatalErr
 	}
+	m := l.metrics
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	for i := range recs {
 		if recs[i].LSN != l.nextLSN+uint64(i) {
 			return 0, fmt.Errorf("wal: batch record %d has lsn %d, want %d (batch must continue the sequence)",
@@ -458,12 +477,17 @@ func (l *Log) appendBatch(recs []Record, frames [][]byte) (int, error) {
 		total += len(frame)
 	}
 	if l.opts.Policy == SyncAlways {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncActiveLocked(); err != nil {
 			return total, l.fail(fmt.Errorf("wal: sync batch through %d: %w", recs[len(recs)-1].LSN, err))
 		}
 		l.advanceDurableLocked(recs[len(recs)-1].LSN)
 	} else {
 		l.dirty = true
+	}
+	if m != nil {
+		m.appendSeconds.Observe(time.Since(t0).Seconds())
+		m.appends.Add(uint64(len(recs)))
+		m.appendBytes.Add(uint64(total))
 	}
 	return total, nil
 }
@@ -471,10 +495,22 @@ func (l *Log) appendBatch(recs []Record, frames [][]byte) (int, error) {
 // rotateLocked seals the active segment and starts a new one. Callers
 // hold l.mu.
 func (l *Log) rotateLocked() error {
+	m := l.metrics
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	if err := l.sealLocked(); err != nil {
 		return err
 	}
-	return l.createSegmentLocked()
+	if err := l.createSegmentLocked(); err != nil {
+		return err
+	}
+	if m != nil {
+		m.rotateSeconds.Observe(time.Since(t0).Seconds())
+		m.rotations.Inc()
+	}
+	return nil
 }
 
 // Rotate seals the active segment (if it has any records) and starts a
@@ -508,7 +544,7 @@ func (l *Log) Sync() error {
 	if l.closed || !l.dirty || l.f == nil {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncActiveLocked(); err != nil {
 		return l.fail(fmt.Errorf("wal: sync: %w", err))
 	}
 	l.dirty = false
@@ -531,7 +567,7 @@ func (l *Log) flusher() {
 		case <-t.C:
 			l.mu.Lock()
 			if !l.closed && l.dirty && l.fatalErr == nil && l.f != nil {
-				if err := l.f.Sync(); err != nil {
+				if err := l.syncActiveLocked(); err != nil {
 					l.fatalErr = fmt.Errorf("wal: background sync: %w", err)
 				} else {
 					l.dirty = false

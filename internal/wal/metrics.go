@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"time"
+
+	"bestring/internal/obs"
+)
+
+// logMetrics holds the log's hot-path instruments. The field on Log is
+// nil until EnableMetrics; append paths read it under l.mu, so there
+// is no separate synchronisation and the disabled path costs one nil
+// check (no time.Now()).
+type logMetrics struct {
+	appendSeconds *obs.Histogram
+	fsyncSeconds  *obs.Histogram
+	rotateSeconds *obs.Histogram
+	appends       *obs.Counter
+	appendBytes   *obs.Counter
+	fsyncs        *obs.Counter
+	rotations     *obs.Counter
+}
+
+// EnableMetrics registers the log's counters, latency histograms and
+// shape gauges on reg. Call once per registry, any time after Open;
+// a nil registry is a no-op.
+func (l *Log) EnableMetrics(reg *obs.Registry) {
+	if l == nil || reg == nil {
+		return
+	}
+	m := &logMetrics{
+		appendSeconds: reg.Histogram("bestring_wal_append_seconds",
+			"Wall time of one WAL append (framing, write, and fsync when the policy demands one).",
+			obs.DurationBuckets()),
+		fsyncSeconds: reg.Histogram("bestring_wal_fsync_seconds",
+			"Duration of WAL fsync calls, whatever triggered them (append, batch, seal, interval flush, explicit Sync).",
+			obs.DurationBuckets()),
+		rotateSeconds: reg.Histogram("bestring_wal_rotation_seconds",
+			"Duration of segment rotations (seal fsync + close + new segment create + dir sync).",
+			obs.DurationBuckets()),
+		appends: reg.Counter("bestring_wal_records_total",
+			"Records appended to the WAL (group-commit batches count each record)."),
+		appendBytes: reg.Counter("bestring_wal_append_bytes_total",
+			"Framed bytes appended to the WAL."),
+		fsyncs: reg.Counter("bestring_wal_fsyncs_total",
+			"Completed WAL fsync calls."),
+		rotations: reg.Counter("bestring_wal_rotations_total",
+			"Completed segment rotations."),
+	}
+	reg.GaugeFunc("bestring_wal_durable_lsn",
+		"Highest LSN known to be on stable storage (the replication shipping horizon).",
+		func() float64 { return float64(l.DurableLSN()) })
+	reg.GaugeFunc("bestring_wal_segments",
+		"WAL segments on disk, sealed plus active.",
+		func() float64 { return float64(l.Stats().Segments) })
+	reg.GaugeFunc("bestring_wal_bytes",
+		"Total WAL bytes on disk across segments.",
+		func() float64 { return float64(l.Stats().Bytes) })
+	l.mu.Lock()
+	l.metrics = m
+	l.mu.Unlock()
+}
+
+// syncActiveLocked fsyncs the active segment, timing the call when
+// metrics are enabled. Callers hold l.mu.
+func (l *Log) syncActiveLocked() error {
+	m := l.metrics
+	if m == nil {
+		return l.f.Sync()
+	}
+	t0 := time.Now()
+	err := l.f.Sync()
+	if err == nil {
+		m.fsyncSeconds.Observe(time.Since(t0).Seconds())
+		m.fsyncs.Inc()
+	}
+	return err
+}

@@ -1,0 +1,104 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"bestring/internal/obs"
+)
+
+// EnableMetrics must count appends/bytes/fsyncs and time them; the
+// exposition must carry the wal families the CI smoke greps for.
+func TestLogMetrics(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 1, Options{Policy: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	l.EnableMetrics(reg)
+	appendN(t, l, 10, 0) // small SegmentBytes forces rotations too
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := l.metrics
+	if got := m.appends.Value(); got != 10 {
+		t.Fatalf("records counted = %d, want 10", got)
+	}
+	if m.appendBytes.Value() == 0 {
+		t.Fatal("append bytes not counted")
+	}
+	// SyncAlways: at least one fsync per append, plus seals.
+	if got := m.fsyncs.Value(); got < 10 {
+		t.Fatalf("fsyncs = %d, want >= 10", got)
+	}
+	if m.rotations.Value() == 0 {
+		t.Fatal("expected rotations at 256-byte segments")
+	}
+	if m.appendSeconds.Count() != 10 || m.fsyncSeconds.Count() != m.fsyncs.Value() {
+		t.Fatalf("histogram counts: append %d fsync %d/%d",
+			m.appendSeconds.Count(), m.fsyncSeconds.Count(), m.fsyncs.Value())
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE bestring_wal_fsync_seconds histogram",
+		"bestring_wal_append_seconds_count 10",
+		"bestring_wal_records_total 10",
+		"bestring_wal_durable_lsn 10",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// Recover must report the torn-tail truncation that Replay performs
+// silently, and agree with Replay on the surviving LSN.
+func TestRecoverReportsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 1, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := Recover(dir, 0, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastLSN != 3 || info.Records != 3 || info.TornTails != 0 || info.TornBytes != 0 {
+		t.Fatalf("clean log: %+v", info)
+	}
+
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err = Recover(dir, 0, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastFrame := int64(len(frameOf(t, data, 2)))
+	if info.LastLSN != 2 || info.Records != 2 || info.TornTails != 1 || info.TornBytes != lastFrame-5 {
+		t.Fatalf("torn log: %+v (want tornBytes %d)", info, lastFrame-5)
+	}
+	// Truncation already happened: a second pass sees a clean log.
+	info, err = Recover(dir, 0, false, nil)
+	if err != nil || info.TornTails != 0 {
+		t.Fatalf("second pass: %+v, %v", info, err)
+	}
+}

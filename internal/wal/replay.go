@@ -104,9 +104,29 @@ func scanSegment(path string, data []byte, final, tolerant bool, fn func(off int
 // the last one present in the log (afterLSN when the log holds nothing
 // newer).
 func Replay(dir string, afterLSN uint64, tolerantTail bool, apply func(Record) error) (uint64, error) {
+	info, err := Recover(dir, afterLSN, tolerantTail, apply)
+	return info.LastLSN, err
+}
+
+// RecoveryInfo reports what a Recover pass found, beyond the last LSN:
+// whether (and how much of) a torn tail was truncated, and how many
+// records were walked. Observability surfaces the torn-tail count so
+// an operator can tell "crashed mid-append, recovered by design" from
+// a clean restart.
+type RecoveryInfo struct {
+	LastLSN   uint64 // last LSN present (afterLSN when nothing newer)
+	Records   int    // frames decoded across all segments
+	TornTails int    // torn final-segment tails truncated (0 or 1)
+	TornBytes int64  // bytes discarded by that truncation
+}
+
+// Recover is Replay with a full report: same scan, same truncation of
+// a torn final-segment tail, same corruption errors.
+func Recover(dir string, afterLSN uint64, tolerantTail bool, apply func(Record) error) (RecoveryInfo, error) {
+	out := RecoveryInfo{LastLSN: afterLSN}
 	names, err := listSegments(dir)
 	if err != nil {
-		return 0, err
+		return out, err
 	}
 	last := afterLSN
 	prev := uint64(0)
@@ -115,7 +135,7 @@ func Replay(dir string, afterLSN uint64, tolerantTail bool, apply func(Record) e
 		path := filepath.Join(dir, name)
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return 0, fmt.Errorf("wal: replay: %w", err)
+			return out, fmt.Errorf("wal: replay: %w", err)
 		}
 		final := i == len(names)-1
 		res, err := scanSegment(path, data, final, tolerantTail, func(off int64, rec *Record) error {
@@ -140,15 +160,19 @@ func Replay(dir string, afterLSN uint64, tolerantTail bool, apply func(Record) e
 			return nil
 		})
 		if err != nil {
-			return 0, err
+			return out, err
 		}
+		out.Records += res.records
 		if res.torn {
 			if err := os.Truncate(path, res.validLen); err != nil {
-				return 0, fmt.Errorf("wal: truncate torn tail: %w", err)
+				return out, fmt.Errorf("wal: truncate torn tail: %w", err)
 			}
+			out.TornTails++
+			out.TornBytes += int64(len(data)) - res.validLen
 		}
 	}
-	return last, nil
+	out.LastLSN = last
+	return out, nil
 }
 
 // SegmentInfo describes one segment for inspection tooling.

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# check-bench.sh — flag performance regressions in a perf-trajectory
+# file maintained by append-bench.sh.
+#
+# usage: scripts/check-bench.sh <tracked.json> [threshold-pct]
+#
+# Compares the newest entry against the previous one, bench by bench
+# (matched on name). A drop of more than threshold-pct (default 20)
+# emits a GitHub Actions "::warning::" annotation per offending bench.
+# Always exits 0: CI-runner noise on quick-mode sweeps makes hard
+# failures flaky, so regressions warn rather than block (see
+# dev/bench/README.md for the trajectory format).
+set -euo pipefail
+
+json=${1:?usage: $0 <tracked.json> [threshold-pct]}
+threshold=${2:-20}
+
+if [ ! -f "$json" ]; then
+  echo "check-bench: $json not found, nothing to compare" >&2
+  exit 0
+fi
+
+n=$(jq '.entries["benchtab"] | length' "$json")
+if [ "$n" -lt 2 ]; then
+  echo "check-bench: $json has $n entries, need 2 to compare"
+  exit 0
+fi
+
+jq -r --argjson t "$threshold" '
+  .entries["benchtab"] as $e
+  | ($e[-2].benches | map({key: .name, value: .value}) | from_entries) as $prev
+  | $e[-1].benches[]
+  | select($prev[.name] != null and $prev[.name] > 0)
+  | (100 * ($prev[.name] - .value) / $prev[.name]) as $drop
+  | if $drop > $t then
+      "::warning::bench \(.name) dropped \($drop | floor)% (\($prev[.name]) -> \(.value) \(.unit))"
+    else
+      "check-bench: \(.name) \($prev[.name]) -> \(.value) \(.unit) ok"
+    end
+' "$json"
+exit 0
