@@ -7,13 +7,15 @@
 // throughput under 0/1/4 concurrent writers), E13 (filter-and-refine
 // pruning efficacy: signature-bound refine stage on vs off), E14
 // (replication: follower catch-up throughput vs local replay, plus
-// steady-state lag under paced writes) and E15 (observability
-// overhead: search/write paths with the metrics registry off vs on).
+// steady-state lag under paced writes), E15 (observability
+// overhead: search/write paths with the metrics registry off vs on) and
+// E16 (cost-based planner stage-order wins plus scorer-cache hit rates,
+// against the same queries with both off).
 // Run with -exp all (default) or a single experiment id.
 //
 // Usage:
 //
-//	benchtab [-exp e1|e2|...|e11b|...|e15|all] [-quick] [-csv]
+//	benchtab [-exp e1|e2|...|e11b|...|e16|all] [-quick] [-csv]
 package main
 
 import (
@@ -36,7 +38,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: e1..e15 (including e11b) or all")
+	exp := fs.String("exp", "all", "experiment to run: e1..e16 (including e11b) or all")
 	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +59,7 @@ func run(args []string) error {
 	pruneSizes := []int{1000, 10000, 100000}
 	pruneSelectivities := []int{10, 50, 100}
 	pruneKs := []int{1, 10, 100}
+	plannerSizes, plannerK := []int{1000, 10000}, 10
 	replSizes, replPaced, replPace := []int{2000, 8000}, 300, 2*time.Millisecond
 	obsSizes, obsQueries, obsWrites := []int{1000, 10000}, 200, 4000
 	qualityCfgs := bench.QualityConfigs(bench.DefaultSeed)
@@ -73,6 +76,7 @@ func run(args []string) error {
 		pruneSizes = []int{300, 1000}
 		pruneSelectivities = []int{10, 100}
 		pruneKs = []int{10}
+		plannerSizes = []int{500}
 		replSizes, replPaced, replPace = []int{1000}, 80, time.Millisecond
 		obsSizes, obsQueries, obsWrites = []int{500}, 40, 800
 		qualityCfgs = qualityCfgs[:1]
@@ -110,6 +114,9 @@ func run(args []string) error {
 		}},
 		{"e15", func() (*bench.Table, error) {
 			return bench.ObservabilityOverhead(obsSizes, obsQueries, obsWrites)
+		}},
+		{"e16", func() (*bench.Table, error) {
+			return bench.PlannerCache(plannerSizes, plannerK)
 		}},
 	}
 
@@ -154,7 +161,7 @@ func run(args []string) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e15, e11b, or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e16, e11b, or all)", *exp)
 	}
 	return nil
 }

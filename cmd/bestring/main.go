@@ -193,8 +193,10 @@ func cmdSearch(args []string) error {
 	region := fs.String("region", "", `region filter "x0,y0,x1,y1" (icons intersecting it)`)
 	regionLabel := fs.String("region-label", "", "restrict -region to icons with this label")
 	minScore := fs.Float64("min-score", 0, "drop results scoring below the threshold")
-	explain := fs.Bool("explain", false, "print per-stage candidate counts and per-hit bound vs exact score")
+	explain := fs.Bool("explain", false, "print the chosen query plan, per-stage candidate counts and per-hit bound vs exact score")
 	noPrune := fs.Bool("no-prune", false, "disable filter-and-refine pruning (results are identical; for measurement)")
+	noPlan := fs.Bool("no-planner", false, "disable the cost-based stage planner (results are identical; for measurement)")
+	noCache := fs.Bool("no-cache", false, "disable the scorer cache for this query (results are identical; for measurement)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -239,6 +241,8 @@ func cmdSearch(args []string) error {
 		bestring.WithScorer(*method),
 		bestring.WithMinScore(*minScore),
 		bestring.WithPruning(!*noPrune),
+		bestring.WithPlanner(!*noPlan),
+		bestring.WithScorerCache(!*noCache),
 	}
 	if *dsl != "" {
 		opts = append(opts, bestring.Where(*dsl))
@@ -294,6 +298,23 @@ func cmdSearch(args []string) error {
 		fmt.Printf("%-4s %-20s %-10s %s\n", "rank", "id", "score", "name")
 		for i, h := range page.Hits {
 			fmt.Printf("%-4d %-20s %-10.4f %s\n", i+*offset+1, h.ID, h.Score, h.Name)
+		}
+	}
+	if *explain && page.Plan != nil {
+		p := page.Plan
+		fmt.Printf("plan: %s (%s)", p.Name, strings.Join(p.Order, " -> "))
+		if p.EstLabel > 0 {
+			fmt.Printf(" est-label=%d", p.EstLabel)
+		}
+		if p.EstRegion > 0 {
+			fmt.Printf(" est-region=%d", p.EstRegion)
+		}
+		if p.EstFilterRate > 0 {
+			fmt.Printf(" est-filter-rate=%.3f", p.EstFilterRate)
+		}
+		fmt.Println()
+		if p.CacheHits+p.CacheMisses > 0 {
+			fmt.Printf("scorer cache: %d hits, %d misses\n", p.CacheHits, p.CacheMisses)
 		}
 	}
 	if *explain && page.Stages != nil {

@@ -205,11 +205,14 @@ func TestSearchExplain(t *testing.T) {
 	}
 
 	// The ranking lines are byte-identical with pruning disabled; only
-	// the stage counters (and the wall-clock timing line) may differ.
+	// the work-description lines — stage counters, wall-clock timing,
+	// plan and cache traffic (pruning changes how many evaluations the
+	// cache sees) — may differ.
 	stripStages := func(s string) string {
 		var kept []string
 		for _, line := range strings.Split(s, "\n") {
-			if !strings.HasPrefix(line, "stages:") && !strings.HasPrefix(line, "timing:") {
+			if !strings.HasPrefix(line, "stages:") && !strings.HasPrefix(line, "timing:") &&
+				!strings.HasPrefix(line, "plan:") && !strings.HasPrefix(line, "scorer cache:") {
 				kept = append(kept, line)
 			}
 		}
@@ -231,7 +234,8 @@ func TestSearchExplain(t *testing.T) {
 	for _, line := range strings.Split(out, "\n") {
 		f := strings.Fields(line)
 		if len(f) < 4 || f[0] == "rank" || strings.HasPrefix(line, "stages:") ||
-			strings.HasPrefix(line, "timing:") || strings.HasPrefix(line, "(") {
+			strings.HasPrefix(line, "timing:") || strings.HasPrefix(line, "plan:") ||
+			strings.HasPrefix(line, "scorer cache:") || strings.HasPrefix(line, "(") {
 			continue
 		}
 		hits++

@@ -587,8 +587,9 @@ type queryRequest struct {
 	Consistent bool `json:"consistent,omitempty"`
 
 	// Debug adds the per-stage candidate counts (narrowed, bounded,
-	// evaluated, pruned) to the response — on a batch, to every
-	// sub-response. Results are unaffected.
+	// evaluated, pruned) and the planner's chosen plan (stage order,
+	// selectivity estimates, scorer-cache hits) to the response — on a
+	// batch, to every sub-response. Results are unaffected.
 	Debug bool `json:"debug,omitempty"`
 
 	Queries []queryRequest `json:"queries,omitempty"`
@@ -674,8 +675,12 @@ type queryResponse struct {
 	// Stages carries the per-stage candidate counts when the request set
 	// "debug": true.
 	Stages *bestring.QueryStages `json:"stages,omitempty"`
-	Error  string                `json:"error,omitempty"`
-	Status int                   `json:"status,omitempty"` // set only on per-query batch errors
+	// Plan carries the planner's chosen stage order, selectivity
+	// estimates and scorer-cache hit/miss counts when the request set
+	// "debug": true.
+	Plan   *bestring.QueryPlan `json:"plan,omitempty"`
+	Error  string              `json:"error,omitempty"`
+	Status int                 `json:"status,omitempty"` // set only on per-query batch errors
 }
 
 // waitMinLSN implements read-your-writes routing across replication: a
@@ -779,6 +784,7 @@ func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
 				out[i] = queryResponse{Hits: page.Hits, Total: page.Total, NextCursor: page.NextCursor, Epoch: page.Epoch}
 				if req.Debug || sub.Debug {
 					out[i].Stages = page.Stages
+					out[i].Plan = page.Plan
 				}
 			}(i, sub)
 		}
@@ -814,6 +820,7 @@ func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Debug {
 		resp.Stages = page.Stages
+		resp.Plan = page.Plan
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -997,3 +997,131 @@ func PruneEfficacy(sizes, selectivities, ks []int) (*Table, error) {
 	}
 	return t, nil
 }
+
+// PlannerCache is experiment E16 (engine, not from the paper): what the
+// cost-based query planner and the scorer cache buy, measured against the
+// same queries with both turned off. The plan scenarios pick workloads
+// that trigger each reordering rule — a tiny region (region-first), a
+// clause whose labels blanket the corpus (scan with the postings union
+// skipped), and a selective clause under a broad region (filter-first,
+// after a warmup run feeds the shape statistics). The cache scenarios
+// re-run a refine-heavy unbounded ranked query warm, and under per-op
+// write churn that invalidates one entry version per query. Rankings are
+// byte-identical base vs opt in every row (pinned by
+// TestPlannerRankingByteIdentical / TestScorerCacheRankingByteIdentical);
+// the table shows only the cost difference.
+func PlannerCache(sizes []int, k int) (*Table, error) {
+	t := &Table{
+		ID: "E16",
+		Caption: "cost-based planner + scorer cache: stage-order and memoisation wins " +
+			"(base = planner and cache off; opt = on; identical rankings)",
+		Header: []string{"scenario", "images", "plan", "base us/op", "opt us/op", "speedup", "hit rate"},
+	}
+	ctx := context.Background()
+	for _, n := range sizes {
+		gen := workload.NewGenerator(workload.Config{
+			Seed: DefaultSeed + 16, Vocabulary: 24, Objects: 8,
+		})
+		scenes := gen.Dataset(n)
+		items := make([]imagedb.BulkItem, n)
+		for i, s := range scenes {
+			items[i] = imagedb.BulkItem{ID: fmt.Sprintf("img%06d", i), Image: s}
+		}
+		db := imagedb.New()
+		if err := db.BulkInsert(ctx, items, 0); err != nil {
+			return nil, fmt.Errorf("E16: %w", err)
+		}
+		queryImg := gen.SubsetQuery(scenes[0], 4)
+
+		type scenario struct {
+			name   string
+			query  *imagedb.Query
+			opts   []imagedb.QueryOption
+			warmup int          // opt-side runs before measuring (shape stats, cache)
+			churn  func() error // executed inside every measured op, both sides
+		}
+		tiny := core.NewRect(0, 0, 6, 6)
+		blanket := "icon00 left-of icon01; icon02 left-of icon03; icon04 left-of icon05"
+		churnObj := core.Object{Label: "zz-churn", Box: core.NewRect(0, 0, 3, 3)}
+		scenarios := []scenario{
+			{
+				name:  "region-first",
+				query: imagedb.NewQuery(queryImg),
+				opts:  []imagedb.QueryOption{imagedb.WithK(k), imagedb.InRegion(tiny), imagedb.WithLabelPrefilter(true)},
+			},
+			{
+				name:  "label-skip",
+				query: imagedb.NewMatchQuery(),
+				opts:  []imagedb.QueryOption{imagedb.WithK(k), imagedb.Where(blanket)},
+			},
+			{
+				name:   "filter-first",
+				query:  imagedb.NewMatchQuery(),
+				opts:   []imagedb.QueryOption{imagedb.WithK(k), imagedb.Where("icon00 contains icon01"), imagedb.InRegion(core.NewRect(0, 0, 95, 95))},
+				warmup: 2,
+			},
+			{
+				name:   "cache-warm",
+				query:  imagedb.NewQuery(queryImg),
+				opts:   nil, // unbounded: every survivor pays an exact evaluation
+				warmup: 1,
+			},
+			{
+				name:   "cache-churn",
+				query:  imagedb.NewQuery(queryImg),
+				opts:   nil,
+				warmup: 1,
+				churn: func() error {
+					if err := db.InsertObject("img000001", churnObj); err != nil {
+						return err
+					}
+					return db.DeleteObject("img000001", churnObj.Label)
+				},
+			},
+		}
+
+		for _, sc := range scenarios {
+			base := append(append([]imagedb.QueryOption{}, sc.opts...),
+				imagedb.WithPlanner(false), imagedb.WithScorerCache(false))
+			opt := sc.opts
+			var opErr error
+			run := func(opts []imagedb.QueryOption) *imagedb.Page {
+				if sc.churn != nil {
+					if err := sc.churn(); err != nil {
+						opErr = err
+						return nil
+					}
+				}
+				page, err := db.Query(ctx, sc.query, opts...)
+				if err != nil {
+					opErr = err
+					return nil
+				}
+				Sink += len(page.Hits)
+				return page
+			}
+			for i := 0; i < sc.warmup; i++ {
+				run(opt)
+			}
+			baseD := MeasureOp(defaultMeasure, func() { run(base) })
+			optD := MeasureOp(defaultMeasure, func() { run(opt) })
+			// One instrumented opt run for the plan name and hit rate.
+			probe := run(opt)
+			if opErr != nil {
+				return nil, fmt.Errorf("E16 %s: %w", sc.name, opErr)
+			}
+			planName, hitRate := "-", "-"
+			if probe.Plan != nil {
+				planName = probe.Plan.Name
+				if lookups := probe.Plan.CacheHits + probe.Plan.CacheMisses; lookups > 0 {
+					hitRate = fmt.Sprintf("%.1f%%", 100*float64(probe.Plan.CacheHits)/float64(lookups))
+				}
+			}
+			t.AddRow(sc.name, FmtInt(n), planName,
+				FmtDur(baseD), FmtDur(optD),
+				fmt.Sprintf("%.2fx", float64(baseD)/float64(max(int(optD), 1))),
+				hitRate)
+		}
+	}
+	return t, nil
+}

@@ -77,6 +77,17 @@ type DB struct {
 	// metrics is nil until EnableMetrics; an atomic pointer so metrics
 	// can be enabled while the DB is already serving.
 	metrics atomic.Pointer[dbMetrics]
+
+	// cache memoises exact scores of BE-pure registry scorers across
+	// queries (nil: disabled); swapped whole by SetScorerCacheCapacity.
+	// See scorercache.go for the pointer-keyed exact invalidation.
+	cache atomic.Pointer[scorerCache]
+	// cacheEvictions counts LRU evictions across cache reconfigurations
+	// (the cache object holds a pointer to it).
+	cacheEvictions atomic.Uint64
+	// shapes is the planner's decaying per-query-shape predicate
+	// pass-rate table (plan.go).
+	shapes shapeStats
 }
 
 // New returns an empty database with the default shard count.
@@ -92,6 +103,7 @@ func NewSharded(n int) *DB {
 	first := emptySnapshot(n)
 	db.current.Store(first)
 	db.history.Store(&epochList{snaps: []*snapshot{first}})
+	db.cache.Store(newScorerCache(DefaultScorerCacheCapacity, &db.cacheEvictions))
 	return db
 }
 

@@ -1,6 +1,8 @@
 package imagedb
 
 import (
+	"time"
+
 	"bestring/internal/obs"
 )
 
@@ -22,6 +24,15 @@ type dbMetrics struct {
 	candBounded   *obs.Counter
 	candEvaluated *obs.Counter
 	candPruned    *obs.Counter
+
+	// planTotal counts executed queries per chosen plan. Every plan name
+	// is registered up front (bounded set, see planNames) so the series
+	// are visible on /metrics before the first query picks each plan.
+	planTotal map[string]*obs.Counter
+
+	cacheHits          *obs.Counter
+	cacheMisses        *obs.Counter
+	cacheLookupSeconds *obs.Histogram
 }
 
 // EnableMetrics registers the DB's query instruments and occupancy
@@ -49,7 +60,30 @@ func (db *DB) EnableMetrics(reg *obs.Registry) {
 		candBounded:   reg.Counter("bestring_query_candidates_total", candHelp, "stage", "bounded"),
 		candEvaluated: reg.Counter("bestring_query_candidates_total", candHelp, "stage", "evaluated"),
 		candPruned:    reg.Counter("bestring_query_candidates_total", candHelp, "stage", "pruned"),
+		planTotal:     make(map[string]*obs.Counter, 5),
+		cacheHits: reg.Counter("bestring_scorer_cache_hits_total",
+			"Exact scorer evaluations served from the scorer cache."),
+		cacheMisses: reg.Counter("bestring_scorer_cache_misses_total",
+			"Cacheable scorer evaluations that ran the scorer (and populated the cache)."),
+		cacheLookupSeconds: reg.Histogram("bestring_scorer_cache_lookup_seconds",
+			"Scorer-cache lookup latency (hits and misses alike).",
+			obs.DurationBuckets()),
 	}
+	for _, name := range planNames() {
+		m.planTotal[name] = reg.Counter("bestring_query_plan_total",
+			"Executed queries per planner-chosen stage order.", "plan", name)
+	}
+	reg.CounterFunc("bestring_scorer_cache_evictions_total",
+		"Scorer-cache entries evicted by the per-shard LRU bound.",
+		func() float64 { return float64(db.cacheEvictions.Load()) })
+	reg.GaugeFunc("bestring_scorer_cache_entries",
+		"Entries currently held by the scorer cache (0 when disabled).",
+		func() float64 {
+			if c := db.cache.Load(); c != nil {
+				return float64(c.Len())
+			}
+			return 0
+		})
 	reg.GaugeFunc("bestring_store_images",
 		"Images in the current published version.",
 		func() float64 { return float64(db.Len()) })
@@ -59,9 +93,18 @@ func (db *DB) EnableMetrics(reg *obs.Registry) {
 	db.metrics.Store(m)
 }
 
-// observeQuery feeds one executed query's stage counts and timings
-// into the registry. Called from noteSearch, outside searchMu.
-func (m *dbMetrics) observeQuery(sc *StageCounts) {
+// observeQuery feeds one executed query's stage counts, timings, plan
+// choice and cache outcomes into the registry. Called from noteSearch,
+// outside searchMu.
+func (m *dbMetrics) observeQuery(page *Page) {
+	sc := page.Stages
+	if p := page.Plan; p != nil {
+		if c, ok := m.planTotal[p.Name]; ok {
+			c.Inc()
+		}
+		m.cacheHits.Add(uint64(p.CacheHits))
+		m.cacheMisses.Add(uint64(p.CacheMisses))
+	}
 	m.queries.Inc()
 	m.querySeconds.Observe(float64(sc.TotalNanos) / 1e9)
 	m.indexSeconds.Observe(float64(sc.IndexNanos) / 1e9)
@@ -74,4 +117,10 @@ func (m *dbMetrics) observeQuery(sc *StageCounts) {
 	m.candBounded.Add(uint64(sc.Bounded))
 	m.candEvaluated.Add(uint64(sc.Evaluated))
 	m.candPruned.Add(uint64(sc.Pruned))
+}
+
+// observeCacheLookup records one scorer-cache lookup's latency. Called
+// from the scoring workers, only when metrics are enabled.
+func (m *dbMetrics) observeCacheLookup(d time.Duration) {
+	m.cacheLookupSeconds.Observe(d.Seconds())
 }

@@ -43,28 +43,41 @@ type Page struct {
 	// through for this query — the observability hook for pruning
 	// efficacy. Always populated by the pipeline.
 	Stages *StageCounts `json:"stages,omitempty"`
+	// Plan records the stage order the cost-based planner chose for
+	// this query, its selectivity estimates and the query's scorer-cache
+	// hit/miss counts (plan.go). Always populated by the pipeline;
+	// surfaced by the CLI's -explain and the server's "debug":true.
+	Plan *QueryPlan `json:"plan,omitempty"`
 }
 
 // StageCounts are the per-stage candidate counts of one executed query:
 // how the staged pipeline narrowed the corpus down to the entries that
 // actually paid an exact scorer evaluation. Hits/Total/NextCursor are
 // byte-identical whatever these counts say; they only describe how much
-// work producing them took.
+// work producing them took. Under the cost-based planner the narrowing
+// counts follow the EXECUTED order recorded in Page.Plan.Order (e.g. a
+// region-first plan reports the region probe's output as Indexed);
+// Narrowed — the set entering ranked scoring — is plan-invariant.
 type StageCounts struct {
-	// Indexed counts candidates after stage 1, the inverted-label
-	// narrowing (the full version size when no label filter applies).
+	// Indexed counts candidates after the plan's first narrowing step
+	// (the inverted-label narrowing under the fixed order; the full
+	// version size when nothing narrows).
 	Indexed int `json:"indexed"`
-	// Region counts candidates surviving stage 2, the R-tree region
-	// probe (equal to Indexed when the query has no region).
+	// Region counts candidates once label and region narrowing both ran
+	// (equal to Indexed when the query has no region; under a
+	// filter-first plan the region check runs inside the predicate
+	// stage, so Region equals Indexed there too).
 	Region int `json:"region"`
-	// Narrowed counts candidates surviving stage 3, the
-	// spatial-predicate filter — the set entering ranked scoring.
+	// Narrowed counts candidates surviving the spatial-predicate filter
+	// — the set entering ranked scoring. Plan-invariant.
 	Narrowed int `json:"narrowed"`
 	// Bounded counts candidates whose signature upper bound was
 	// computed in the refine stage (zero when the scorer declares no
 	// bound, pruning is disabled, or the query has no ranked image).
 	Bounded int `json:"bounded"`
-	// Evaluated counts exact scorer evaluations actually run.
+	// Evaluated counts exact score determinations: scorer runs plus
+	// scorer-cache hits (a hit serves the identical exact score; the
+	// split is Page.Plan.CacheHits/CacheMisses).
 	Evaluated int `json:"evaluated"`
 	// Pruned counts candidates rejected on the bound alone: Bounded =
 	// Evaluated' + Pruned where Evaluated' is the bounded candidates
@@ -167,16 +180,17 @@ func (db *DB) QueryIter(ctx context.Context, q *Query, opts ...QueryOption) iter
 			yield(Hit{}, fmt.Errorf("query: %w", err))
 			return
 		}
-		iterOn(ctx, snap, spec, cur, db.noteSearch)(yield)
+		iterOn(ctx, db, snap, spec, cur, db.noteSearch)(yield)
 	}
 }
 
 // iterOn streams a query's results from one pinned version — the shared
-// engine behind DB.QueryIter and Snapshot.QueryIter. cur is the decoded
-// resume position of the spec's initial cursor, if any; note (optional)
-// receives each batch's stage counts so a DB-backed iteration feeds the
-// cumulative search counters.
-func iterOn(ctx context.Context, snap *snapshot, spec *Query, cur *cursorPos, note func(*StageCounts)) iter.Seq2[Hit, error] {
+// engine behind DB.QueryIter and Snapshot.QueryIter. db supplies the
+// scorer cache and planner statistics (nil: both unavailable); cur is
+// the decoded resume position of the spec's initial cursor, if any;
+// note (optional) receives each executed batch's page so a DB-backed
+// iteration feeds the cumulative search counters.
+func iterOn(ctx context.Context, db *DB, snap *snapshot, spec *Query, cur *cursorPos, note func(*Page)) iter.Seq2[Hit, error] {
 	return func(yield func(Hit, error) bool) {
 		s := spec.clone()
 		unlimited := s.k == 0
@@ -187,13 +201,13 @@ func iterOn(ctx context.Context, snap *snapshot, spec *Query, cur *cursorPos, no
 			if !unlimited && remaining < step.k {
 				step.k = remaining
 			}
-			p, err := executeOn(ctx, snap, step, cur)
+			p, err := executeOn(ctx, db, snap, step, cur)
 			if err != nil {
 				yield(Hit{}, fmt.Errorf("query: %w", err))
 				return
 			}
 			if note != nil {
-				note(p.Stages)
+				note(p)
 			}
 			for _, h := range p.Hits {
 				if !yield(h, nil) {
@@ -248,39 +262,46 @@ func (db *DB) execute(ctx context.Context, q *Query) (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	page, err := executeOn(ctx, snap, q, cur)
+	page, err := executeOn(ctx, db, snap, q, cur)
 	if err == nil {
-		db.noteSearch(page.Stages)
+		db.noteSearch(page)
 	}
 	return page, err
 }
 
-// noteSearch folds one query's stage counts into the DB's cumulative
-// filter-and-refine counters (one mutex, so readers get a coherent
-// snapshot) and into the registry when metrics are enabled.
-func (db *DB) noteSearch(sc *StageCounts) {
-	if sc == nil {
+// noteSearch folds one executed page's stage counts and cache outcomes
+// into the DB's cumulative filter-and-refine counters (one mutex, so
+// readers get a coherent snapshot) and into the registry when metrics
+// are enabled.
+func (db *DB) noteSearch(page *Page) {
+	if page == nil || page.Stages == nil {
 		return
 	}
+	sc := page.Stages
 	db.searchMu.Lock()
 	db.search.Queries++
 	db.search.Narrowed += uint64(sc.Narrowed)
 	db.search.Bounded += uint64(sc.Bounded)
 	db.search.Evaluated += uint64(sc.Evaluated)
 	db.search.Pruned += uint64(sc.Pruned)
+	if p := page.Plan; p != nil {
+		db.search.CacheHits += uint64(p.CacheHits)
+		db.search.CacheMisses += uint64(p.CacheMisses)
+	}
 	db.searchMu.Unlock()
 	if m := db.metrics.Load(); m != nil {
-		m.observeQuery(sc)
+		m.observeQuery(page)
 	}
 }
 
 // executeOn runs the staged pipeline against one pinned, immutable
-// version; cur is the query's already-decoded cursor (nil when none).
-// From here on the query acquires no locks: every stage — label
-// narrowing, region probe, predicate evaluation, top-K scoring — reads
-// frozen maps and a frozen tree, so the view is consistent by
+// version; db supplies the scorer cache and planner statistics (nil:
+// both unavailable); cur is the query's already-decoded cursor (nil
+// when none). From here on the query acquires no locks: every stage —
+// label narrowing, region probe, predicate evaluation, top-K scoring —
+// reads frozen maps and a frozen tree, so the view is consistent by
 // construction and concurrent writers cost readers nothing.
-func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*Page, error) {
+func executeOn(ctx context.Context, db *DB, snap *snapshot, q *Query, cur *cursorPos) (*Page, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
@@ -291,10 +312,12 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 
 	// Resolve the scorer up front so an unknown name fails fast even if
 	// no candidate survives the filters. A registry scorer may carry an
-	// upper bound, enabling the refine stage below; an explicit
-	// WithScorerFunc scorer is opaque and always evaluates exactly.
+	// upper bound, enabling the refine stage below, and may be BE-pure,
+	// enabling the scorer cache; an explicit WithScorerFunc scorer is
+	// opaque and always evaluates exactly.
 	scorer := q.scorer
 	var bound Bound
+	cacheable := false
 	if scorer == nil && (q.image != nil || q.scorerName != "") {
 		r, ok := lookupRegistered(q.scorerName)
 		if !ok {
@@ -305,6 +328,7 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 		if !q.noPrune {
 			bound = r.bound
 		}
+		cacheable = r.pure
 	}
 
 	var img core.Image
@@ -317,10 +341,10 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 		}
 	}
 
-	// Stage 1 — inverted label index. A Where clause narrows to images
-	// containing at least one of its labels (an image satisfying any
-	// clause must), otherwise an explicit LabelPrefilter narrows to
-	// images sharing an icon label with the query image.
+	// Stage 1 inputs. A Where clause narrows to images containing at
+	// least one of its labels (an image satisfying any clause must),
+	// otherwise an explicit LabelPrefilter narrows to images sharing an
+	// icon label with the query image.
 	mark := time.Now()
 	var labels []string
 	prefilter := false
@@ -334,28 +358,95 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 		labels = queryLabels(img)
 		prefilter = true
 	}
-	cands0 := snap.collect(labels, prefilter)
-	stages := &StageCounts{Indexed: len(cands0)}
-	stages.IndexNanos = sinceNanos(&mark)
 
-	// Stage 2 — R-tree region probe: keep images with an icon in the
-	// region before any per-image work.
-	if q.region != nil {
+	// Plan — the cost-based planner picks the narrowing order from
+	// snapshot statistics before any per-entry work; WithPlanner(false)
+	// pins the fixed label → region → predicate order. Every plan
+	// assembles the exact same candidate set (see plan.go), so the
+	// branches below differ in work, never in results.
+	var shapes *shapeStats
+	if db != nil {
+		shapes = &db.shapes
+	}
+	ep := planQuery(snap, q, labels, prefilter, shapes)
+	plan := ep.Plan
+	stages := &StageCounts{}
+
+	var cands0 []*stored
+	if ep.regionFirst {
+		// Region-first: probe the (estimated tiny) region set, then
+		// recover the label narrowing as a membership filter over it.
 		ids := snap.regionIDSet(*q.region, q.regionLabel)
-		kept := cands0[:0]
-		for _, st := range cands0 {
-			if ids[st.ID] {
-				kept = append(kept, st)
+		cands0 = make([]*stored, 0, len(ids))
+		for id := range ids {
+			if st, ok := snap.lookup(id); ok {
+				cands0 = append(cands0, st)
 			}
 		}
-		cands0 = kept
-	}
-	stages.Region = len(cands0)
-	stages.RegionNanos = sinceNanos(&mark)
+		stages.Indexed = len(cands0)
+		stages.IndexNanos = sinceNanos(&mark)
+		if prefilter {
+			kept := cands0[:0]
+			for _, st := range cands0 {
+				if snap.hasAnyLabel(st.ID, labels) {
+					kept = append(kept, st)
+				}
+			}
+			cands0 = kept
+		}
+		stages.Region = len(cands0)
+		stages.RegionNanos = sinceNanos(&mark)
+	} else {
+		// Label (or scan) first. A skipped postings union degrades to a
+		// full scan; the label restriction is then recovered inline for
+		// image-only prefilters and by the Where evaluation otherwise
+		// (an image with none of the clause's labels satisfies nothing).
+		if prefilter && !ep.skipLabels {
+			cands0 = snap.collect(labels, prefilter)
+		} else {
+			cands0 = snap.collect(nil, false)
+			if ep.skipLabels && prefilter && q.dsl == nil {
+				kept := cands0[:0]
+				for _, st := range cands0 {
+					if snap.hasAnyLabel(st.ID, labels) {
+						kept = append(kept, st)
+					}
+				}
+				cands0 = kept
+			}
+		}
+		stages.Indexed = len(cands0)
+		stages.IndexNanos = sinceNanos(&mark)
 
-	// Stage 3 — spatial-predicate evaluation. With a ranked component
-	// the clause is a filter (default: every constraint must hold);
-	// without one the satisfied fraction becomes the ranking score.
+		// Region filter — unless the plan defers it past the predicate
+		// (filter-first) or proved it a no-op (region ⊇ corpus bounds).
+		if q.region != nil && !ep.filterFirst && !ep.skipRegion {
+			kept := cands0[:0]
+			if ep.regionMember {
+				for _, st := range cands0 {
+					if snap.shardFor(st.ID).labels[q.regionLabel][st.ID] {
+						kept = append(kept, st)
+					}
+				}
+			} else {
+				ids := snap.regionIDSet(*q.region, q.regionLabel)
+				for _, st := range cands0 {
+					if ids[st.ID] {
+						kept = append(kept, st)
+					}
+				}
+			}
+			cands0 = kept
+		}
+		stages.Region = len(cands0)
+		stages.RegionNanos = sinceNanos(&mark)
+	}
+
+	// Predicate stage — spatial-predicate evaluation. With a ranked
+	// component the clause is a filter (default: every constraint must
+	// hold); without one the satisfied fraction becomes the ranking
+	// score.
+	filterIn := len(cands0)
 	cands := make([]candidate, 0, len(cands0))
 	var whereByID map[string]candidate
 	if q.dsl != nil {
@@ -382,7 +473,7 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 			cands = append(cands, c)
 			whereByID[st.ID] = c
 		}
-		// Stage 1 narrowed on the clause's labels; an explicit
+		// The label stage narrowed on the clause's labels; an explicit
 		// LabelPrefilter additionally requires sharing an icon label
 		// with the query image.
 		if q.image != nil && q.labelPrefilter {
@@ -401,21 +492,41 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 			}
 			cands = kept
 		}
+		// Feed the observed pass-rate back into the planner's decaying
+		// per-shape table (only meaningful when the clause actually
+		// filtered a non-empty input).
+		if shapes != nil && filterIn > 0 {
+			shapes.note(q.dsl.String(), float64(len(cands))/float64(filterIn))
+		}
 	} else {
 		for _, st := range cands0 {
 			cands = append(cands, candidate{st: st})
 		}
 	}
+	stages.FilterNanos = sinceNanos(&mark)
+
+	// Filter-first plans deferred the region filter to here: a direct
+	// geometric check per predicate survivor replaces the broad R-tree
+	// probe (see regionMatches for the equivalence).
+	if ep.filterFirst && q.region != nil {
+		kept := cands[:0]
+		for _, c := range cands {
+			if regionMatches(&c.st.Image, *q.region, q.regionLabel) {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+		stages.RegionNanos = sinceNanos(&mark)
+	}
 
 	stages.Narrowed = len(cands)
-	stages.FilterNanos = sinceNanos(&mark)
 	if len(cands) == 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		stages.TotalNanos = int64(time.Since(start))
 		recordSpans(ctx, start, stages)
-		return &Page{Hits: []Hit{}, Epoch: snap.epoch, Stages: stages}, nil
+		return &Page{Hits: []Hit{}, Epoch: snap.epoch, Stages: stages, Plan: plan}, nil
 	}
 
 	// Stage 4 — ranked scoring over the survivors, on the same bounded
@@ -423,15 +534,26 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 	// scorer when the query has an image, the satisfied fraction when
 	// spatial satisfaction itself is the ranking, and 0 for region-only
 	// queries (ties break by id, so those list in id order).
-	rank := func(c candidate) float64 {
-		switch {
-		case q.image != nil:
-			return scorer(img, queryBE, c.st.Entry)
-		case q.dsl != nil:
-			return c.where
-		default:
-			return 0
+
+	// Scorer cache: a BE-pure registry scorer's exact score is a pure
+	// function of (scorer, query BE, entry version), so the DB-wide memo
+	// can serve it byte-identically; the *stored pointer in the key is
+	// the entry version (see scorercache.go). The query-side half of the
+	// key is computed once here.
+	var cache *scorerCache
+	var qkey string
+	if cacheable && q.image != nil && !q.noCache && db != nil {
+		if cache = db.cache.Load(); cache != nil {
+			name := q.scorerName
+			if name == "" {
+				name = DefaultScorerName
+			}
+			qkey = cacheQueryKey(name, queryBE)
 		}
+	}
+	met := (*dbMetrics)(nil)
+	if db != nil {
+		met = db.metrics.Load()
 	}
 
 	workers := q.parallelism
@@ -469,6 +591,8 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 	boundedN := make([]int, workers)
 	evaluatedN := make([]int, workers)
 	prunedN := make([]int, workers)
+	cacheHitN := make([]int, workers)
+	cacheMissN := make([]int, workers)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -509,7 +633,36 @@ func executeOn(ctx context.Context, snap *snapshot, q *Query, cur *cursorPos) (*
 					}
 				}
 				evaluatedN[w]++
-				r := Result{ID: c.st.ID, Name: c.st.Name, Score: rank(c)}
+				var score float64
+				switch {
+				case q.image != nil:
+					if cache != nil {
+						// The bound check above already ran, so a hit skips
+						// the whole dynamic program, not just part of it.
+						k := cacheKey{query: qkey, entry: c.st}
+						var t0 time.Time
+						if met != nil {
+							t0 = time.Now()
+						}
+						s, ok := cache.get(k)
+						if met != nil {
+							met.observeCacheLookup(time.Since(t0))
+						}
+						if ok {
+							cacheHitN[w]++
+							score = s
+						} else {
+							cacheMissN[w]++
+							score = scorer(img, queryBE, c.st.Entry)
+							cache.put(k, score)
+						}
+					} else {
+						score = scorer(img, queryBE, c.st.Entry)
+					}
+				case q.dsl != nil:
+					score = c.where
+				}
+				r := Result{ID: c.st.ID, Name: c.st.Name, Score: score}
 				if r.Score < q.minScore {
 					continue
 				}
@@ -543,6 +696,8 @@ feed:
 		stages.Bounded += boundedN[w]
 		stages.Evaluated += evaluatedN[w]
 		stages.Pruned += prunedN[w]
+		plan.CacheHits += cacheHitN[w]
+		plan.CacheMisses += cacheMissN[w]
 	}
 	ranked := mergeTopK(heaps, heapK)
 
@@ -556,7 +711,7 @@ feed:
 		ranked = ranked[:q.k]
 	}
 
-	page := &Page{Hits: make([]Hit, len(ranked)), Total: total, Epoch: snap.epoch, Stages: stages}
+	page := &Page{Hits: make([]Hit, len(ranked)), Total: total, Epoch: snap.epoch, Stages: stages, Plan: plan}
 	for i, r := range ranked {
 		h := Hit{ID: r.ID, Name: r.Name, Score: r.Score}
 		if q.dsl != nil {

@@ -1,0 +1,267 @@
+package imagedb
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"bestring/internal/core"
+	"bestring/internal/obs"
+)
+
+// pageKey is the result identity the byte-identity tests compare: the
+// parts of a page a client consumes. Stages/Plan are deliberately
+// excluded — they describe work, not results.
+type pageKey struct {
+	Hits   []Hit
+	Total  int
+	Cursor string
+}
+
+func pageID(t *testing.T, p *Page) string {
+	t.Helper()
+	j, err := json.Marshal(pageKey{p.Hits, p.Total, p.NextCursor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(j)
+}
+
+// TestPlannerRankingByteIdentical pins the planner's correctness
+// invariant: whatever plan the cost model picks, Hits, Total and
+// NextCursor are byte-identical to the fixed label→region→predicate
+// order, across query compositions that exercise every plan, at several
+// parallelism levels, including full cursor walks.
+func TestPlannerRankingByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	db, g := seedPruneDB(t, 424242, 80)
+	img := g.SubsetQuery(g.Scene(), 4)
+
+	tiny := core.NewRect(0, 0, 6, 6)
+	broad := core.NewRect(0, 0, 100, 100) // contains every canvas
+	mid := core.NewRect(10, 10, 80, 80)
+	// Six-label clause: postings cover (well over) 80% of the corpus, so
+	// the planner goes for a scan.
+	wide := "icon00 left-of icon01; icon02 left-of icon03; icon04 left-of icon05"
+
+	cases := []struct {
+		name string
+		q    *Query
+		opts []QueryOption
+	}{
+		{"image", NewQuery(img), []QueryOption{WithK(10)}},
+		{"image-prefilter", NewQuery(img), []QueryOption{WithK(10), WithLabelPrefilter(true)}},
+		{"image-prefilter-unbounded", NewQuery(img), []QueryOption{WithLabelPrefilter(true)}},
+		{"image-tiny-region", NewQuery(img), []QueryOption{WithK(10), InRegion(tiny)}},
+		{"image-tiny-region-prefilter", NewQuery(img), []QueryOption{WithK(10), InRegion(tiny), WithLabelPrefilter(true)}},
+		{"image-broad-region", NewQuery(img), []QueryOption{WithK(10), InRegion(broad)}},
+		{"image-broad-region-label", NewQuery(img), []QueryOption{WithK(10), InRegionLabel(broad, "icon03")}},
+		{"image-mid-region", NewQuery(img), []QueryOption{WithK(10), InRegion(mid)}},
+		{"dsl", NewMatchQuery(), []QueryOption{WithK(10), Where("icon01 left-of icon02")}},
+		{"dsl-wide", NewMatchQuery(), []QueryOption{WithK(10), Where(wide)}},
+		{"dsl-tiny-region", NewMatchQuery(), []QueryOption{WithK(10), Where("icon01 left-of icon02"), InRegion(tiny)}},
+		{"dsl-mid-region", NewMatchQuery(), []QueryOption{WithK(10), Where(wide), InRegion(mid)}},
+		{"image-dsl-region", NewQuery(img), []QueryOption{WithK(10), Where("icon01 left-of icon02"), WithWhereMin(0.5), InRegion(mid)}},
+		{"region-only", NewMatchQuery(), []QueryOption{WithK(10), InRegion(tiny)}},
+		{"min-score", NewQuery(img), []QueryOption{WithK(10), WithMinScore(0.4), InRegion(mid)}},
+		{"offset", NewQuery(img), []QueryOption{WithK(5), WithOffset(7), InRegion(mid)}},
+		{"scorer-invariant", NewQuery(img), []QueryOption{WithK(10), WithScorer("invariant"), InRegion(tiny)}},
+	}
+	// Two passes so the second sees warmed shape statistics (plans may
+	// change between passes; results must not).
+	for pass := 0; pass < 2; pass++ {
+		for _, tc := range cases {
+			for _, par := range []int{0, 1, 3} {
+				base := append([]QueryOption{WithParallelism(par)}, tc.opts...)
+				on, err := db.Query(ctx, tc.q, append(base, WithPlanner(true))...)
+				if err != nil {
+					t.Fatalf("%s: %v", tc.name, err)
+				}
+				off, err := db.Query(ctx, tc.q, append(base, WithPlanner(false))...)
+				if err != nil {
+					t.Fatalf("%s: %v", tc.name, err)
+				}
+				if gj, wj := pageID(t, on), pageID(t, off); gj != wj {
+					t.Fatalf("pass %d case %s parallelism %d (plan %q): planner ranking diverged\n  on: %s\n off: %s",
+						pass, tc.name, par, on.Plan.Name, gj, wj)
+				}
+				if off.Plan == nil || off.Plan.Name != planFixed {
+					t.Fatalf("case %s: planner-off page reports plan %+v, want fixed", tc.name, off.Plan)
+				}
+				if on.Stages.Narrowed != off.Stages.Narrowed {
+					t.Fatalf("case %s: Narrowed is plan-variant: %d vs %d", tc.name, on.Stages.Narrowed, off.Stages.Narrowed)
+				}
+			}
+		}
+	}
+
+	// Full cursor walk under each planner setting, resuming pages across
+	// plan decisions.
+	walk := func(planner bool) string {
+		var all []Hit
+		cursor := ""
+		for {
+			opts := []QueryOption{WithK(7), WithPlanner(planner), InRegion(mid)}
+			if cursor != "" {
+				opts = append(opts, WithCursor(cursor))
+			}
+			page, err := db.Query(ctx, NewQuery(img), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, page.Hits...)
+			if page.NextCursor == "" {
+				j, _ := json.Marshal(all)
+				return string(j)
+			}
+			cursor = page.NextCursor
+		}
+	}
+	if on, off := walk(true), walk(false); on != off {
+		t.Fatalf("cursor walk diverged:\n  on: %s\n off: %s", on, off)
+	}
+}
+
+// TestPlannerPlanChoices pins that the cost model actually picks the
+// intended plans on workloads constructed to trigger each rule.
+func TestPlannerPlanChoices(t *testing.T) {
+	ctx := context.Background()
+	db, g := seedPruneDB(t, 2025, 120)
+	img := g.SubsetQuery(g.Scene(), 4)
+
+	plan := func(q *Query, opts ...QueryOption) *QueryPlan {
+		t.Helper()
+		page, err := db.Query(ctx, q, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page.Plan == nil {
+			t.Fatal("no plan on page")
+		}
+		return page.Plan
+	}
+
+	// No narrowing input at all: plain ranked search scans.
+	if p := plan(NewQuery(img), WithK(5)); p.Name != planScan {
+		t.Fatalf("unfiltered image query chose %q, want scan", p.Name)
+	}
+	// A tiny region next to a label prefilter: probe the region first.
+	tiny := core.NewRect(0, 0, 4, 4)
+	if p := plan(NewQuery(img), WithK(5), InRegion(tiny), WithLabelPrefilter(true)); p.Name != planRegionFirst {
+		t.Fatalf("tiny-region query chose %q (est-region %d, est-label %d), want region-first",
+			p.Name, p.EstRegion, p.EstLabel)
+	}
+	// A region containing the corpus bounds, no label: provably a no-op.
+	broad := core.NewRect(0, 0, 100, 100)
+	p := plan(NewQuery(img), WithK(5), InRegion(broad), WithLabelPrefilter(true))
+	if !p.SkippedRegion {
+		t.Fatalf("bounds-covering region not skipped: %+v", p)
+	}
+	// The same region with a label degenerates to a membership test.
+	if p := plan(NewQuery(img), WithK(5), InRegionLabel(broad, "icon03"), WithLabelPrefilter(true)); p.SkippedRegion {
+		t.Fatalf("labelled bounds-covering region wrongly skipped: %+v", p)
+	}
+	// A clause whose labels blanket the corpus: the postings union would
+	// rebuild nearly the whole entry set, so the planner scans instead.
+	wide := "icon00 left-of icon01; icon02 left-of icon03; icon04 left-of icon05; icon06 left-of icon07"
+	if p := plan(NewMatchQuery(), WithK(5), Where(wide)); p.Name != planScan || !p.SkippedLabels {
+		t.Fatalf("blanket-label clause chose %q (skippedLabels=%v, est-label %d), want scan",
+			p.Name, p.SkippedLabels, p.EstLabel)
+	}
+	// Filter-first needs history: a clause that keeps almost nothing,
+	// paired with a broad (but not bounds-covering) region. The first run
+	// observes the pass-rate; the second plans on it.
+	selective := "icon00 contains icon01"
+	q := NewMatchQuery()
+	opts := []QueryOption{WithK(5), Where(selective), InRegion(core.NewRect(0, 0, 95, 95))}
+	first := plan(q, opts...)
+	second := plan(q, opts...)
+	if second.Name != planFilterFirst {
+		t.Fatalf("selective clause chose %q after warmup (first %q, rate %.3f), want filter-first",
+			second.Name, first.Name, second.EstFilterRate)
+	}
+	if second.EstFilterRate >= 1 {
+		t.Fatalf("shape statistics not updated: rate %.3f", second.EstFilterRate)
+	}
+}
+
+// TestPlannerShapeStatsBounded pins the pass-rate table's size bound.
+func TestPlannerShapeStatsBounded(t *testing.T) {
+	var s shapeStats
+	for i := 0; i < 3*shapeStatsCap; i++ {
+		s.note(fmt.Sprintf("shape-%d", i), 0.5)
+	}
+	if n := len(s.rates); n > shapeStatsCap {
+		t.Fatalf("shape table grew to %d, cap %d", n, shapeStatsCap)
+	}
+	s.note("ewma", 1)
+	s.note("ewma", 0)
+	want := (1-shapeDecay)*1.0 + shapeDecay*0
+	if got := s.rate("ewma"); got != want {
+		t.Fatalf("EWMA rate %v, want %v", got, want)
+	}
+	if got := s.rate("never-seen"); got != 1 {
+		t.Fatalf("unseen shape rate %v, want 1", got)
+	}
+}
+
+// TestPlannerAndCacheMetrics pins the new /metrics series: every plan
+// series is visible at registration time, the chosen plan is counted,
+// and the scorer-cache counters and gauges move.
+func TestPlannerAndCacheMetrics(t *testing.T) {
+	ctx := context.Background()
+	db, g := seedPruneDB(t, 55, 40)
+	img := g.SubsetQuery(g.Scene(), 3)
+
+	reg := obs.NewRegistry()
+	db.EnableMetrics(reg)
+
+	render := func() string {
+		var b strings.Builder
+		if err := reg.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	// All plan series visible before any traffic.
+	text := render()
+	for _, name := range planNames() {
+		if !strings.Contains(text, fmt.Sprintf(`bestring_query_plan_total{plan=%q} 0`, name)) {
+			t.Fatalf("plan series %q not pre-registered:\n%s", name, text)
+		}
+	}
+	for _, series := range []string{
+		"bestring_scorer_cache_hits_total",
+		"bestring_scorer_cache_misses_total",
+		"bestring_scorer_cache_evictions_total",
+		"bestring_scorer_cache_entries",
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("series %q missing from exposition", series)
+		}
+	}
+
+	// Run the same cacheable query twice: one scan plan counted per run,
+	// misses on the first, hits on the second.
+	for i := 0; i < 2; i++ {
+		if _, err := db.Query(ctx, NewQuery(img)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	text = render()
+	if !strings.Contains(text, `bestring_query_plan_total{plan="scan"} 2`) {
+		t.Fatalf("scan plan not counted:\n%s", text)
+	}
+	if strings.Contains(text, "bestring_scorer_cache_hits_total 0\n") {
+		t.Fatalf("no cache hits recorded on a repeated query:\n%s", text)
+	}
+	if strings.Contains(text, "bestring_scorer_cache_misses_total 0\n") {
+		t.Fatalf("no cache misses recorded on a cold query:\n%s", text)
+	}
+	if strings.Contains(text, "bestring_scorer_cache_entries 0\n") {
+		t.Fatalf("cache occupancy gauge did not move:\n%s", text)
+	}
+}

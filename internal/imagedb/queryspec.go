@@ -40,6 +40,8 @@ type Query struct {
 	parallelism    int
 	labelPrefilter bool
 	noPrune        bool
+	noPlan         bool
+	noCache        bool
 
 	err error // sticky builder error, surfaced by DB.Query
 }
@@ -233,6 +235,25 @@ func WithLabelPrefilter(on bool) QueryOption {
 // is only useful for measuring what it saves.
 func WithPruning(on bool) QueryOption {
 	return func(q *Query) { q.noPrune = !on }
+}
+
+// WithPlanner toggles the cost-based stage planner (default on). When
+// off, the query executes in the fixed label → region → predicate order
+// (plan "fixed"). Plans change only how the candidate set is assembled,
+// never what it contains — Hits, Total and NextCursor are byte-identical
+// either way — so disabling the planner is only useful for measuring
+// what it saves (and as the baseline of the byte-identity tests).
+func WithPlanner(on bool) QueryOption {
+	return func(q *Query) { q.noPlan = !on }
+}
+
+// WithScorerCache toggles this query's use of the DB's scorer cache
+// (default on; the DB-wide cache is configured with
+// SetScorerCacheCapacity). Only queries ranking with a BE-pure registry
+// scorer ever consult it, and a cached score is always the exact score —
+// rankings are byte-identical with the cache on or off.
+func WithScorerCache(on bool) QueryOption {
+	return func(q *Query) { q.noCache = !on }
 }
 
 // cursorPos is the decoded pagination cursor: the ranking position

@@ -1,0 +1,229 @@
+package imagedb
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"bestring/internal/core"
+)
+
+// This file is the hot-scorer cache: a sharded, size-bounded LRU memo of
+// (query signature, entry version, scorer) → exact score, covering the
+// refine stage's surviving evaluations. Repeated queries — the same
+// query image re-ranked after writes elsewhere, cursor walks, dashboards
+// polling a fixed query — skip the O(m·n) LCS dynamic program for every
+// entry whose score is already known.
+//
+// Invalidation is exact, with zero stamping or epoch bookkeeping, by
+// riding the engine's MVCC discipline: a stored entry is immutable once
+// any published version references it, and every mutation that touches
+// an entry installs a NEW *stored (txn.replace / txn.add allocate; see
+// updateImage). The cache key therefore embeds the *stored pointer
+// itself — the entry-version identity. An update can never serve a stale
+// score (the new version is a new pointer, a guaranteed miss), and an
+// old pinned snapshot walking a cursor still hits the scores of ITS
+// entry versions, which remain correct for it by immutability. Epoch
+// tracking falls out for free: versions of an entry across epochs are
+// distinct pointers, and entries in shards a mutation never touched keep
+// their pointers — so exactly the still-valid scores survive. Results
+// are byte-identical with the cache on or off (pinned by
+// TestScorerCacheRankingByteIdentical); the cache can only change how
+// fast they arrive.
+//
+// Only registry scorers marked BE-pure are cacheable: their score is a
+// function of (query BE-string, entry BE-string) alone, so the canonical
+// query-BE encoding plus the entry version pins the exact result. The
+// type-i baselines read raw image coordinates, which the BE-string does
+// not determine, and custom WithScorerFunc scorers are opaque — both
+// always evaluate exactly.
+//
+// Memory: a cached key retains its *stored entry (image + BE-string)
+// even after every snapshot dropped it. That is bounded by the LRU
+// capacity and is the usual cache trade — dead versions age out of the
+// LRU as live traffic replaces them.
+
+// DefaultScorerCacheCapacity is the default size bound (entries) of a
+// DB's scorer cache. Tune or disable with SetScorerCacheCapacity.
+const DefaultScorerCacheCapacity = 1 << 16
+
+// scorerCacheShards is the lock-striping factor; must be a power of two.
+const scorerCacheShards = 16
+
+// cacheKey identifies one memoised evaluation: the canonical (scorer,
+// query BE-string) encoding and the entry-version pointer (see the file
+// comment for why pointer identity is the exact invalidation).
+type cacheKey struct {
+	query string
+	entry *stored
+}
+
+// cacheVal is one LRU element's payload.
+type cacheVal struct {
+	key   cacheKey
+	score float64
+}
+
+// cacheShard is one stripe: a mutex, the index map and the recency list
+// (front = most recently used).
+type cacheShard struct {
+	mu  sync.Mutex
+	m   map[cacheKey]*list.Element
+	lru *list.List
+}
+
+// scorerCache is the sharded LRU. Capacity is enforced per shard
+// (capacity/scorerCacheShards each), so the bound is exact in total and
+// no global lock exists on the hot path.
+type scorerCache struct {
+	shards   [scorerCacheShards]cacheShard
+	perShard int
+	size     atomic.Int64
+	// evictions points at the owning DB's process-lifetime counter, so
+	// the total survives SetScorerCacheCapacity swapping the cache out.
+	evictions *atomic.Uint64
+}
+
+// newScorerCache returns an LRU bounded to capacity entries; evict (may
+// be nil) receives one increment per evicted entry.
+func newScorerCache(capacity int, evict *atomic.Uint64) *scorerCache {
+	per := capacity / scorerCacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &scorerCache{perShard: per, evictions: evict}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// shardFor routes a key to its stripe (FNV-1a over the query encoding
+// seeded by the entry's id, so one hot query image spreads across
+// stripes by entry).
+func (c *scorerCache) shardFor(k cacheKey) *cacheShard {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(k.entry.ID); i++ {
+		h ^= uint32(k.entry.ID[i])
+		h *= prime32
+	}
+	for i := 0; i < len(k.query); i++ {
+		h ^= uint32(k.query[i])
+		h *= prime32
+	}
+	return &c.shards[h&(scorerCacheShards-1)]
+}
+
+// get returns the memoised score and marks the entry most recently used.
+func (c *scorerCache) get(k cacheKey) (float64, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[k]
+	if !ok {
+		return 0, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*cacheVal).score, true
+}
+
+// put memoises a score, evicting the stripe's least recently used entry
+// when full. A concurrent duplicate put (two workers missing the same
+// key) degenerates to a refresh: both computed the same exact score.
+func (c *scorerCache) put(k cacheKey, score float64) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[k]; ok {
+		el.Value.(*cacheVal).score = score
+		s.lru.MoveToFront(el)
+		return
+	}
+	if s.lru.Len() >= c.perShard {
+		oldest := s.lru.Back()
+		if oldest != nil {
+			s.lru.Remove(oldest)
+			delete(s.m, oldest.Value.(*cacheVal).key)
+			c.size.Add(-1)
+			if c.evictions != nil {
+				c.evictions.Add(1)
+			}
+		}
+	}
+	s.m[k] = s.lru.PushFront(&cacheVal{key: k, score: score})
+	c.size.Add(1)
+}
+
+// Len returns the current number of cached scores.
+func (c *scorerCache) Len() int { return int(c.size.Load()) }
+
+// cacheQueryKey canonically encodes the (scorer, query BE-string) half
+// of a cache key. Every component is length-prefixed, so the encoding is
+// injective: two distinct (scorer, BE) pairs can never collide, which is
+// what lets a cache hit stand in for the exact evaluation byte-for-byte.
+func cacheQueryKey(scorer string, be core.BEString) string {
+	var b strings.Builder
+	b.Grow(len(scorer) + 8*(len(be.X)+len(be.Y)) + 16)
+	fmt.Fprintf(&b, "%d:%s", len(scorer), scorer)
+	writeAxis := func(a core.Axis) {
+		for _, t := range a {
+			if t.Dummy {
+				b.WriteString("E;")
+				continue
+			}
+			fmt.Fprintf(&b, "%d:%s", len(t.Label), t.Label)
+			if t.Kind == core.End {
+				b.WriteByte('-')
+			} else {
+				b.WriteByte('+')
+			}
+		}
+	}
+	writeAxis(be.X)
+	b.WriteByte('|')
+	writeAxis(be.Y)
+	return b.String()
+}
+
+// SetScorerCacheCapacity resizes the DB's scorer cache to the given
+// entry bound, dropping every memoised score; n <= 0 disables caching
+// entirely. The default is DefaultScorerCacheCapacity. Safe to call
+// while queries run: in-flight queries finish against the cache they
+// loaded, new queries see the new one. Rankings are unaffected either
+// way — the cache only memoises exact scores.
+func (db *DB) SetScorerCacheCapacity(n int) {
+	if n <= 0 {
+		db.cache.Store(nil)
+		return
+	}
+	db.cache.Store(newScorerCache(n, &db.cacheEvictions))
+}
+
+// ScorerCacheStats is a point-in-time view of the DB's scorer cache.
+type ScorerCacheStats struct {
+	// Enabled reports whether a cache is installed.
+	Enabled bool `json:"enabled"`
+	// Entries is the current occupancy.
+	Entries int `json:"entries"`
+	// Capacity is the configured size bound.
+	Capacity int `json:"capacity"`
+	// Evictions counts LRU evictions over the process lifetime (the
+	// counter survives SetScorerCacheCapacity).
+	Evictions uint64 `json:"evictions"`
+}
+
+// ScorerCacheStats reports the scorer cache's occupancy and lifetime
+// eviction count. Hit/miss totals live in Stats().Search.
+func (db *DB) ScorerCacheStats() ScorerCacheStats {
+	st := ScorerCacheStats{Evictions: db.cacheEvictions.Load()}
+	if c := db.cache.Load(); c != nil {
+		st.Enabled = true
+		st.Entries = c.Len()
+		st.Capacity = c.perShard * scorerCacheShards
+	}
+	return st
+}

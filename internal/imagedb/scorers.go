@@ -31,10 +31,18 @@ const DefaultScorerName = "be"
 // candidate.
 type Bound func(query, entry core.Signature) float64
 
-// registeredScorer pairs a scorer with its (optional) bound.
+// registeredScorer pairs a scorer with its (optional) bound and its
+// cacheability. pure marks scorers whose exact score is a function of
+// the two BE-strings alone — no image coordinates, no hidden state —
+// which is what lets the scorer cache key an evaluation by (query BE,
+// entry version, name) and serve it byte-identically later (see
+// scorercache.go). Externally registered scorers are never marked pure:
+// the engine cannot verify the property, and a wrong claim would
+// silently corrupt rankings, so only the audited built-ins opt in.
 type registeredScorer struct {
 	score Scorer
 	bound Bound
+	pure  bool
 }
 
 // scorerRegistry maps scorer names to implementations, so every surface
@@ -72,6 +80,14 @@ func RegisterBoundedScorer(name string, s Scorer, b Bound) error {
 	}
 	scorerRegistry.m[name] = registeredScorer{score: s, bound: b}
 	return nil
+}
+
+// ScorerCacheable reports whether the named scorer's evaluations are
+// eligible for the scorer cache (BE-pure built-ins). The empty name
+// resolves to DefaultScorerName.
+func ScorerCacheable(name string) bool {
+	r, ok := lookupRegistered(name)
+	return ok && r.pure
 }
 
 // lookupRegistered resolves a registry entry by name. The empty name
@@ -120,17 +136,28 @@ func init() {
 	// The LCS-family scorers declare the signature bounds proven in
 	// internal/similarity (UB >= exact is pinned by property test); the
 	// clique-based type-i baselines have no cheap sound bound and stay
-	// exact-only, as does any custom WithScorerFunc scorer.
+	// exact-only, as does any custom WithScorerFunc scorer. The same
+	// LCS family is BE-pure (their score reads only the two BE-strings),
+	// so their evaluations are scorer-cacheable; the type-i baselines
+	// read raw image coordinates, which the BE-string does not
+	// determine, and stay uncached.
 	for name, r := range map[string]registeredScorer{
-		"be":        {score: BEScorer(), bound: similarity.UpperBound},
-		"invariant": {score: InvariantScorer(nil), bound: similarity.UpperBoundInvariant},
+		"be":        {score: BEScorer(), bound: similarity.UpperBound, pure: true},
+		"invariant": {score: InvariantScorer(nil), bound: similarity.UpperBoundInvariant, pure: true},
 		"type0":     {score: TypeSimScorer(typesim.Type0)},
 		"type1":     {score: TypeSimScorer(typesim.Type1)},
 		"type2":     {score: TypeSimScorer(typesim.Type2)},
-		"symbols":   {score: SymbolsOnlyScorer(), bound: similarity.UpperBoundSymbolsOnly},
+		"symbols":   {score: SymbolsOnlyScorer(), bound: similarity.UpperBoundSymbolsOnly, pure: true},
 	} {
 		if err := RegisterBoundedScorer(name, r.score, r.bound); err != nil {
 			panic(err)
+		}
+		if r.pure {
+			scorerRegistry.mu.Lock()
+			e := scorerRegistry.m[name]
+			e.pure = true
+			scorerRegistry.m[name] = e
+			scorerRegistry.mu.Unlock()
 		}
 	}
 }

@@ -61,11 +61,19 @@ type SearchStats struct {
 	// Bounded counts candidates whose signature upper bound was computed
 	// (zero when a query's scorer declares no bound or pruning is off).
 	Bounded uint64 `json:"bounded"`
-	// Evaluated counts exact scorer evaluations actually run.
+	// Evaluated counts exact score determinations — scorer runs plus
+	// scorer-cache hits (the cache serves the identical exact score, so
+	// the filter-and-refine accounting treats both alike; the split is
+	// the two cache counters below).
 	Evaluated uint64 `json:"evaluated"`
 	// Pruned counts candidates rejected on the bound alone — ranking
 	// work avoided with zero effect on results.
 	Pruned uint64 `json:"pruned"`
+	// CacheHits counts exact evaluations served from the scorer cache.
+	CacheHits uint64 `json:"cacheHits"`
+	// CacheMisses counts cacheable evaluations that had to run the
+	// scorer (and then populated the cache).
+	CacheMisses uint64 `json:"cacheMisses"`
 }
 
 // Stats describes shard occupancy, for capacity monitoring.

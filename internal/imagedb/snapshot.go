@@ -432,11 +432,17 @@ func (db *DB) SetSnapshotRetention(n int) {
 // nothing later.
 type Snapshot struct {
 	snap *snapshot
+	// db links back to the minting DB for the scorer cache and planner
+	// statistics. Queries on the Snapshot use them (both are
+	// version-safe: cache keys carry the entry version), but their
+	// counters are not folded into DB.Stats — a Snapshot may outlive the
+	// handle that minted it.
+	db *DB
 }
 
 // Snapshot pins the current version of the database.
 func (db *DB) Snapshot() *Snapshot {
-	return &Snapshot{snap: db.current.Load()}
+	return &Snapshot{snap: db.current.Load(), db: db}
 }
 
 // Epoch identifies this version; it increases by one per published
@@ -479,7 +485,7 @@ func (sn *Snapshot) Query(ctx context.Context, q *Query, opts ...QueryOption) (*
 	if err != nil {
 		return nil, fmt.Errorf("query: %w", err)
 	}
-	page, err := executeOn(ctx, sn.snap, spec, cur)
+	page, err := executeOn(ctx, sn.db, sn.snap, spec, cur)
 	if err != nil {
 		return nil, fmt.Errorf("query: %w", err)
 	}
@@ -496,6 +502,6 @@ func (sn *Snapshot) QueryIter(ctx context.Context, q *Query, opts ...QueryOption
 			yield(Hit{}, fmt.Errorf("query: %w", err))
 			return
 		}
-		iterOn(ctx, sn.snap, spec, cur, nil)(yield)
+		iterOn(ctx, sn.db, sn.snap, spec, cur, nil)(yield)
 	}
 }

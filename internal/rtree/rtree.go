@@ -96,6 +96,22 @@ func (t *Tree) Clone() *Tree {
 // Len returns the number of stored items.
 func (t *Tree) Len() int { return t.size }
 
+// Bounds returns the minimum bounding rectangle of every stored item —
+// the union of the root's entry boxes, maintained by insertion and
+// condensation — and false when the tree is empty. O(root occupancy);
+// the query planner reads it to relate a query region's area to the
+// corpus extent without touching any item.
+func (t *Tree) Bounds() (core.Rect, bool) {
+	if t.size == 0 || len(t.root.entries) == 0 {
+		return core.Rect{}, false
+	}
+	b := t.root.entries[0].box
+	for _, e := range t.root.entries[1:] {
+		b = b.Union(e.box)
+	}
+	return b, true
+}
+
 // mutable returns n if the tree owns it, or an owned copy otherwise —
 // the single point where copy-on-write happens. The extra capacity slot
 // keeps the common append-then-maybe-split path allocation-stable.

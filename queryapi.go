@@ -41,6 +41,12 @@ type (
 	ScorerBound = imagedb.Bound
 	// SearchStats are a DB's cumulative filter-and-refine counters.
 	SearchStats = imagedb.SearchStats
+	// QueryPlan records the stage order the cost-based planner chose for
+	// one executed query, its selectivity estimates and the query's
+	// scorer-cache hit/miss counts; reported on every QueryPage.
+	QueryPlan = imagedb.QueryPlan
+	// ScorerCacheStats is a point-in-time view of a DB's scorer cache.
+	ScorerCacheStats = imagedb.ScorerCacheStats
 )
 
 // DefaultScorerName is the registry name used when a query names no
@@ -110,6 +116,20 @@ func WithLabelPrefilter(on bool) QueryOption {
 // Pruning never changes results; disabling it is only useful for
 // measuring what the signature upper bounds save.
 func WithPruning(on bool) QueryOption { return imagedb.WithPruning(on) }
+
+// WithPlanner toggles the cost-based stage planner (default on). Plans
+// change only how the candidate set is assembled, never what it
+// contains — rankings are byte-identical either way.
+func WithPlanner(on bool) QueryOption { return imagedb.WithPlanner(on) }
+
+// WithScorerCache toggles this query's use of the engine's scorer cache
+// (default on). A cached score is always the exact score, so rankings
+// are byte-identical with the cache on or off.
+func WithScorerCache(on bool) QueryOption { return imagedb.WithScorerCache(on) }
+
+// ScorerCacheable reports whether the named scorer's evaluations are
+// eligible for the scorer cache ("" resolves to the default).
+func ScorerCacheable(name string) bool { return imagedb.ScorerCacheable(name) }
 
 // RegisterScorer adds a named scorer to the registry shared by the
 // library, the CLI and the REST server, with no upper bound (queries

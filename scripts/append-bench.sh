@@ -4,22 +4,26 @@
 # (github-action-benchmark's data.js format, minus the JS assignment),
 # so benchmark results are diffable across PRs as plain JSON.
 #
-# usage: scripts/append-bench.sh <bench.csv> <tracked.json> <value-column> <unit>
+# usage: scripts/append-bench.sh <bench.csv> <tracked.json> <value-column> <unit> [key-columns]
 #
 # example:
 #   go run ./cmd/benchtab -quick -exp e11b -csv > bench-e11b.csv
 #   scripts/append-bench.sh bench-e11b.csv dev/bench/BENCH_e11b.json 'batched rec/s' 'rec/s'
 #
-# Each data row becomes one bench named "<table-id>/<first-col>=<value>"
-# (e.g. "E11b/writers=4") with the chosen column as its value. The commit
-# block is filled from git HEAD; run from anywhere inside the repo.
+# Each data row becomes one bench named "<table-id>/<key>=<value>" with
+# the chosen column as its value. The key defaults to the table's first
+# column (e.g. "E11b/writers=4"); tables whose rows sweep several
+# parameters pass them as a comma-separated [key-columns] list so names
+# stay unique (e.g. 'images,selectivity,K' gives
+# "E13/images=1000,selectivity=10%,K=10"). The commit block is filled
+# from git HEAD; run from anywhere inside the repo.
 set -euo pipefail
 
-if [ $# -ne 4 ]; then
-  echo "usage: $0 <bench.csv> <tracked.json> <value-column> <unit>" >&2
+if [ $# -lt 4 ] || [ $# -gt 5 ]; then
+  echo "usage: $0 <bench.csv> <tracked.json> <value-column> <unit> [key-columns]" >&2
   exit 2
 fi
-csv=$1 json=$2 col=$3 unit=$4
+csv=$1 json=$2 col=$3 unit=$4 keycols=${5:-}
 
 id=$(sed -n '1s/^# \([^:]*\):.*/\1/p' "$csv")
 if [ -z "$id" ]; then
@@ -27,18 +31,26 @@ if [ -z "$id" ]; then
   exit 1
 fi
 
-benches=$(awk -F, -v col="$col" -v id="$id" '
+benches=$(awk -F, -v col="$col" -v id="$id" -v keycols="$keycols" '
   NR == 1 { next }
   NR == 2 {
-    for (i = 1; i <= NF; i++) if ($i == col) vi = i
+    for (i = 1; i <= NF; i++) hidx[$i] = i
+    vi = hidx[col]
     if (!vi) { printf "append-bench: column %s not in header: %s\n", col, $0 > "/dev/stderr"; exit 1 }
-    key = $1
+    if (keycols == "") keycols = $1
+    nk = split(keycols, kc, ",")
+    for (j = 1; j <= nk; j++) {
+      ki[j] = hidx[kc[j]]
+      if (!ki[j]) { printf "append-bench: key column %s not in header: %s\n", kc[j], $0 > "/dev/stderr"; exit 1 }
+    }
     next
   }
   NF > 1 {
     v = $vi
     gsub(/[x,]/, "", v) # FmtInt thousands separators, ratio "x" suffixes
-    printf "{\"name\":\"%s/%s=%s\",\"value\":%s}\n", id, key, $1, v
+    name = ""
+    for (j = 1; j <= nk; j++) name = name (j > 1 ? "," : "") kc[j] "=" $(ki[j])
+    printf "{\"name\":\"%s/%s\",\"value\":%s}\n", id, name, v
   }' "$csv" | jq -s --arg unit "$unit" 'map(. + {unit: $unit})')
 
 if [ "$(echo "$benches" | jq length)" -eq 0 ]; then

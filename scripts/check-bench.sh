@@ -2,18 +2,22 @@
 # check-bench.sh — flag performance regressions in a perf-trajectory
 # file maintained by append-bench.sh.
 #
-# usage: scripts/check-bench.sh <tracked.json> [threshold-pct]
+# usage: scripts/check-bench.sh <tracked.json> [threshold-pct] [report.md]
 #
 # Compares the newest entry against the previous one, bench by bench
 # (matched on name). A drop of more than threshold-pct (default 20)
 # emits a GitHub Actions "::warning::" annotation per offending bench.
-# Always exits 0: CI-runner noise on quick-mode sweeps makes hard
-# failures flaky, so regressions warn rather than block (see
-# dev/bench/README.md for the trajectory format).
+# When [report.md] is given, a per-table markdown section (previous vs
+# current value, delta, verdict — including benches that are new in this
+# entry) is appended to it, so CI can upload one regression report
+# covering every tracked trajectory. Always exits 0: CI-runner noise on
+# quick-mode sweeps makes hard failures flaky, so regressions warn
+# rather than block (see dev/bench/README.md for the trajectory format).
 set -euo pipefail
 
-json=${1:?usage: $0 <tracked.json> [threshold-pct]}
+json=${1:?usage: $0 <tracked.json> [threshold-pct] [report.md]}
 threshold=${2:-20}
+report=${3:-}
 
 if [ ! -f "$json" ]; then
   echo "check-bench: $json not found, nothing to compare" >&2
@@ -23,6 +27,14 @@ fi
 n=$(jq '.entries["benchtab"] | length' "$json")
 if [ "$n" -lt 2 ]; then
   echo "check-bench: $json has $n entries, need 2 to compare"
+  if [ -n "$report" ]; then
+    {
+      echo "## $(basename "$json")"
+      echo
+      echo "_${n} entries — need 2 to compare._"
+      echo
+    } >> "$report"
+  fi
   exit 0
 fi
 
@@ -38,4 +50,31 @@ jq -r --argjson t "$threshold" '
       "check-bench: \(.name) \($prev[.name]) -> \(.value) \(.unit) ok"
     end
 ' "$json"
+
+if [ -n "$report" ]; then
+  {
+    echo "## $(basename "$json")"
+    echo
+    echo "Newest entry ($(jq -r '.entries["benchtab"][-1].commit.id[0:8]' "$json")) vs" \
+      "previous ($(jq -r '.entries["benchtab"][-2].commit.id[0:8]' "$json"));" \
+      "warning threshold ${threshold}% drop."
+    echo
+    echo "| bench | previous | current | delta | verdict |"
+    echo "|---|---:|---:|---:|---|"
+    jq -r --argjson t "$threshold" '
+      .entries["benchtab"] as $e
+      | ($e[-2].benches | map({key: .name, value: .value}) | from_entries) as $prev
+      | $e[-1].benches[]
+      | if $prev[.name] == null or $prev[.name] <= 0 then
+          "| \(.name) | — | \(.value) \(.unit) | — | new |"
+        else
+          (100 * ($prev[.name] - .value) / $prev[.name]) as $drop
+          | (if $drop > 0 then "-" else "+" end) as $sign
+          | "| \(.name) | \($prev[.name]) | \(.value) \(.unit) | \($sign)\(($drop | if . < 0 then -. else . end) * 10 | floor / 10)% | \(if $drop > $t then "**regression**" else "ok" end) |"
+        end
+    ' "$json"
+    echo
+  } >> "$report"
+  echo "check-bench: report section appended to $report"
+fi
 exit 0
