@@ -10,12 +10,14 @@
 // steady-state lag under paced writes), E15 (observability
 // overhead: search/write paths with the metrics registry off vs on) and
 // E16 (cost-based planner stage-order wins plus scorer-cache hit rates,
-// against the same queries with both off).
+// against the same queries with both off) and E17 (streaming-ingest
+// scaling: the chunked importer vs legacy chunk-looped BulkInsert across
+// source format, chunk size and arena layout).
 // Run with -exp all (default) or a single experiment id.
 //
 // Usage:
 //
-//	benchtab [-exp e1|e2|...|e11b|...|e16|all] [-quick] [-csv]
+//	benchtab [-exp e1|e2|...|e11b|...|e17|all] [-quick] [-csv]
 package main
 
 import (
@@ -38,7 +40,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: e1..e16 (including e11b) or all")
+	exp := fs.String("exp", "all", "experiment to run: e1..e17 (including e11b) or all")
 	quick := fs.Bool("quick", false, "smaller sweeps (for smoke tests)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +62,7 @@ func run(args []string) error {
 	pruneSelectivities := []int{10, 50, 100}
 	pruneKs := []int{1, 10, 100}
 	plannerSizes, plannerK := []int{1000, 10000}, 10
+	ingestSizes, ingestChunks := []int{100000, 1000000}, []int{8192, 32768}
 	replSizes, replPaced, replPace := []int{2000, 8000}, 300, 2*time.Millisecond
 	obsSizes, obsQueries, obsWrites := []int{1000, 10000}, 200, 4000
 	qualityCfgs := bench.QualityConfigs(bench.DefaultSeed)
@@ -77,6 +80,7 @@ func run(args []string) error {
 		pruneSelectivities = []int{10, 100}
 		pruneKs = []int{10}
 		plannerSizes = []int{500}
+		ingestSizes, ingestChunks = []int{5000}, []int{1024}
 		replSizes, replPaced, replPace = []int{1000}, 80, time.Millisecond
 		obsSizes, obsQueries, obsWrites = []int{500}, 40, 800
 		qualityCfgs = qualityCfgs[:1]
@@ -117,6 +121,9 @@ func run(args []string) error {
 		}},
 		{"e16", func() (*bench.Table, error) {
 			return bench.PlannerCache(plannerSizes, plannerK)
+		}},
+		{"e17", func() (*bench.Table, error) {
+			return bench.IngestScaling(ingestSizes, ingestChunks)
 		}},
 	}
 
@@ -161,7 +168,7 @@ func run(args []string) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e16, e11b, or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e17, e11b, or all)", *exp)
 	}
 	return nil
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bestring"
+)
+
+func TestImportCommand(t *testing.T) {
+	tmp := t.TempDir()
+	dir := filepath.Join(tmp, "data")
+	file := filepath.Join(tmp, "scenes.ndjson")
+	var b strings.Builder
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&b,
+			`{"id":"cli%03d","image":{"xmax":10,"ymax":10,"objects":[{"label":"L%d","box":{"x0":%d,"y0":0,"x1":%d,"y1":3}}]}}`+"\n",
+			i, i%4, i%5, i%5+2)
+	}
+	if err := os.WriteFile(file, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"import", "-data-dir", dir, "-file", file, "-chunk", "8", "-quiet"}
+	if err := run(args); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	s, err := bestring.OpenStore(dir, bestring.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 30 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running the same import resumes instead of duplicating.
+	if err := run(args); err != nil {
+		t.Fatalf("re-import: %v", err)
+	}
+	s, err = bestring.OpenStore(dir, bestring.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 30 {
+		t.Fatalf("Len after re-import = %d", s.Len())
+	}
+
+	if err := run([]string{"import", "-data-dir", dir, "-file", file, "-format", "tsv"}); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if err := run([]string{"import", "-file", file}); err == nil {
+		t.Fatal("missing -data-dir accepted")
+	}
+}

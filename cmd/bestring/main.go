@@ -14,6 +14,8 @@
 //	bestring transform -img scene.json -t rot90|rot180|rot270|flip-x|flip-y
 //	bestring mkdb      -out db.json [-count 50] [-seed 1] [-objects 8] [-vocab 24]
 //	bestring store     init|inspect|compact -data-dir DIR [flags]
+//	bestring import    -data-dir DIR -file scenes.ndjson [-format ndjson|csv]
+//	                   [-chunk N] [-parallelism N] [-no-resume]
 //	bestring render    -img scene.json -out scene.png
 //	bestring ascii     -img scene.json [-cols 60] [-rows 24]
 //
@@ -45,7 +47,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (convert, score, search, transform, mkdb, store, render, ascii)")
+		return fmt.Errorf("missing subcommand (convert, score, search, transform, mkdb, store, import, render, ascii)")
 	}
 	switch args[0] {
 	case "convert":
@@ -60,6 +62,8 @@ func run(args []string) error {
 		return cmdMkdb(args[1:])
 	case "store":
 		return cmdStore(args[1:])
+	case "import":
+		return cmdImport(args[1:])
 	case "render":
 		return cmdRender(args[1:])
 	case "ascii":

@@ -126,7 +126,7 @@ func cmdStoreInspect(args []string) error {
 	}
 	if len(ins.RecordOps) > 0 {
 		fmt.Printf("record ops:\n")
-		for _, op := range []string{"insert", "delete", "insert-object", "delete-object", "bulk", "group"} {
+		for _, op := range []string{"insert", "delete", "insert-object", "delete-object", "bulk", "import", "group"} {
 			if n := ins.RecordOps[op]; n > 0 {
 				fmt.Printf("  %-14s %d\n", op, n)
 			}

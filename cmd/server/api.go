@@ -115,6 +115,7 @@ func newServerMux(cfg muxConfig) http.Handler {
 	}
 	mux.HandleFunc("POST /api/search", api.search)
 	mux.HandleFunc("POST /api/v1/search", api.searchV1)
+	mux.HandleFunc("POST /api/v1/import", api.importScenes)
 	if cfg.metrics != nil {
 		mux.Handle("GET /metrics", cfg.metrics.Handler())
 	}
@@ -192,6 +193,8 @@ func routeLabel(path string) string {
 		return "/api/images/{id}"
 	case p == "/search":
 		return "/api/search"
+	case p == "/import":
+		return "/api/import"
 	case p == "/search/dsl":
 		return "/api/search/dsl"
 	case p == "/region":
@@ -333,6 +336,9 @@ func (a *api) health(w http.ResponseWriter, _ *http.Request) {
 		// Group-commit counters: mutations/groups is the mean coalescing
 		// factor — how many concurrent writers shared each fsync.
 		body["commit"] = ss.Commit
+		// Streaming-import tally: chunks/images/bytes committed, chunks an
+		// interrupted run's resume skipped, and imports running right now.
+		body["import"] = ss.Import
 		// The replication ledger: what is durable (shippable), applied,
 		// visible to reads, and how far back the retained WAL reaches. On
 		// a follower appliedLSN is the catch-up position.
@@ -823,4 +829,77 @@ func (a *api) searchV1(w http.ResponseWriter, r *http.Request) {
 		resp.Plan = page.Plan
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// importScenes is POST /api/v1/import: a streaming bulk ingest. The body
+// is a scene stream — NDJSON by default, the CSV dialect with
+// ?format=csv — consumed incrementally (no maxBodyBytes cap: chunking
+// bounds memory, not the request size), converted in a worker pool and
+// committed as chunked WAL records, so one request loads a corpus far
+// larger than memory. Query knobs: chunk (scenes per chunk),
+// chunk_bytes, parallelism, no_resume=1. Interrupted imports resume:
+// re-POST the same stream and already-durable chunks are skipped (see
+// DESIGN.md section 12).
+func (a *api) importScenes(w http.ResponseWriter, r *http.Request) {
+	if a.store == nil {
+		writeErr(w, http.StatusBadRequest, errors.New("import requires a durable store (run with -data-dir)"))
+		return
+	}
+	var opts bestring.ImportOptions
+	q := r.URL.Query()
+	intParam := func(name string) (int, error) {
+		s := q.Get(name)
+		if s == "" {
+			return 0, nil
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("bad %s %q", name, s)
+		}
+		return n, nil
+	}
+	var err error
+	if opts.ChunkScenes, err = intParam("chunk"); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var cb int
+	if cb, err = intParam("chunk_bytes"); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts.ChunkBytes = int64(cb)
+	if opts.Parallelism, err = intParam("parallelism"); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts.NoResume = q.Get("no_resume") == "1" || q.Get("no_resume") == "true"
+	var src bestring.SceneReader
+	switch format := q.Get("format"); format {
+	case "", "ndjson":
+		src = bestring.NDJSONScenes(r.Body)
+	case "csv":
+		src = bestring.CSVScenes(r.Body)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want ndjson or csv)", format))
+		return
+	}
+	start := time.Now()
+	stats, err := a.store.Import(r.Context(), src, opts)
+	if err != nil {
+		if a.redirectedWrite(w, r, err) {
+			return
+		}
+		status := queryStatus(err)
+		if errors.Is(err, bestring.ErrDuplicate) {
+			status = http.StatusConflict
+		}
+		// Committed chunks stay durable even when the stream fails midway;
+		// report them so the client knows a re-POST will resume, not redo.
+		writeJSON(w, status, map[string]any{"error": err.Error(), "import": stats})
+		return
+	}
+	log.Printf("import: %d images in %d chunks (%d resumed) in %s",
+		stats.Images, stats.Chunks, stats.ResumedChunks, time.Since(start).Round(time.Millisecond))
+	writeJSON(w, http.StatusOK, a.writeLSNs(map[string]any{"import": stats}))
 }

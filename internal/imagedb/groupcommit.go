@@ -407,7 +407,7 @@ func (s *Store) commitGroup(reqs []*commitReq) {
 	if len(recs) > 1 {
 		rec = wal.Record{Op: wal.OpGroup, Subs: recs}
 	}
-	if err := s.append(rec); err != nil {
+	if _, err := s.append(rec); err != nil {
 		for _, r := range accepted {
 			r.err = err
 		}

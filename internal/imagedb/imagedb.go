@@ -88,6 +88,11 @@ type DB struct {
 	// shapes is the planner's decaying per-query-shape predicate
 	// pass-rate table (plan.go).
 	shapes shapeStats
+
+	// arenaOff disables the columnar arena layout for bulk-loaded
+	// segments (arena.go). Inverted so the zero value keeps the default:
+	// arena on.
+	arenaOff atomic.Bool
 }
 
 // New returns an empty database with the default shard count.

@@ -51,13 +51,20 @@ func (db *DB) loadEntries(entries []Entry, wrap string) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
 	m := beginTxn(db.current.Load())
+	arena := db.ArenaLayout()
+	var packed []arenaItem
+	if arena {
+		packed = make([]arenaItem, 0, len(entries))
+	}
+	seen := make(map[string]bool, len(entries))
 	for _, e := range entries {
 		if e.ID == "" {
 			return fmt.Errorf("%s: %w", wrap, ErrEmptyID)
 		}
-		if _, exists := m.shards[shardIndex(e.ID, len(m.shards))].entries[e.ID]; exists {
+		if _, exists := m.shards[shardIndex(e.ID, len(m.shards))].entries[e.ID]; exists || seen[e.ID] {
 			return fmt.Errorf("%s: insert %q: %w", wrap, e.ID, ErrDuplicate)
 		}
+		seen[e.ID] = true
 		be, err := core.Convert(e.Image)
 		if err != nil {
 			return fmt.Errorf("%s: insert %q: %w", wrap, e.ID, err)
@@ -65,10 +72,23 @@ func (db *DB) loadEntries(entries []Entry, wrap string) error {
 		if len(e.BE.X) > 0 && !be.Equal(e.BE) {
 			return fmt.Errorf("%s: entry %q: stored BE-string does not match its image", wrap, e.ID)
 		}
+		if arena {
+			// Defer the install: the whole load packs into one columnar
+			// arena (arena.go), so a recovered corpus gets the same slab
+			// locality a live bulk insert would.
+			packed = append(packed, arenaItem{id: e.ID, name: e.Name, img: e.Image, be: be})
+			continue
+		}
 		m.add(&stored{
 			Entry: Entry{ID: e.ID, Name: e.Name, Image: e.Image.Clone(), BE: be},
 			seq:   db.seq.Add(1),
 		})
+	}
+	if len(packed) > 0 {
+		for _, st := range buildArena(packed).pointers() {
+			st.seq = db.seq.Add(1)
+			m.add(st)
+		}
 	}
 	db.publish(m)
 	return nil

@@ -206,6 +206,14 @@ func (s *Store) applyReplicated(recs []wal.Record, frames [][]byte) error {
 	db.publish(m)
 	s.markVisibleLocked(s.appliedLSN)
 	s.maybeCheckpointLocked()
+	// Remember replicated import chunk keys: should this follower be
+	// promoted, a resumed import against it skips the chunks it already
+	// replayed.
+	for i := range recs {
+		if recs[i].Op == wal.OpImport && recs[i].Key != "" {
+			s.noteImportKey(recs[i].Key)
+		}
+	}
 	return nil
 }
 
@@ -265,11 +273,30 @@ func applyRecordTxn(db *DB, m *txn, rec *wal.Record) error {
 			return err
 		}
 		m.replace(st, &stored{Entry: Entry{ID: rec.ID, Name: st.Name, Image: next, BE: be}, seq: st.seq})
-	case wal.OpBulk:
+	case wal.OpBulk, wal.OpImport:
+		// Import chunk frames ship verbatim and replay exactly like a bulk
+		// batch; the arena packing below gives a follower the same slab
+		// locality the primary's importer produced.
 		for i := range rec.Items {
 			if _, exists := m.lookup(rec.Items[i].ID); exists {
 				return fmt.Errorf("bulk item %q: %w", rec.Items[i].ID, ErrDuplicate)
 			}
+		}
+		if db.ArenaLayout() {
+			packed := make([]arenaItem, len(rec.Items))
+			for i := range rec.Items {
+				it := &rec.Items[i]
+				be, err := core.Convert(it.Image)
+				if err != nil {
+					return fmt.Errorf("bulk item %q: %w", it.ID, err)
+				}
+				packed[i] = arenaItem{id: it.ID, name: it.Name, img: it.Image, be: be}
+			}
+			for _, st := range buildArena(packed).pointers() {
+				st.seq = db.seq.Add(1)
+				m.add(st)
+			}
+			break
 		}
 		for i := range rec.Items {
 			it := &rec.Items[i]

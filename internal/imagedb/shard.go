@@ -15,15 +15,18 @@ import (
 type stored struct {
 	Entry
 	seq uint64
-	// sig is the entry's symbol signature when the construction path
-	// precomputed it outside the writer lock (the bulk path does, so a
-	// 100k-image batch pays no signature work in its critical section);
-	// nil means txn.add derives it from the BE-string at install time.
+	// sig is the entry's symbol signature. The bulk and import paths
+	// precompute it outside the writer lock (so a 100k-image batch pays no
+	// signature work in its critical section); for every other path
+	// txn.add/replace derive it once at install time and memoise it here.
+	// After install it is never nil, so no read ever re-derives a
+	// signature.
 	sig *core.Signature
 }
 
-// signature returns the entry's symbol signature, preferring the
-// precomputed one.
+// signature returns the entry's symbol signature. The nil branch exists
+// only for entries that never went through txn.add (tests constructing
+// stored values by hand); installed entries always carry a memoised one.
 func (st *stored) signature() core.Signature {
 	if st.sig != nil {
 		return *st.sig

@@ -48,6 +48,14 @@ type shardView struct {
 	entries map[string]*stored
 	labels  map[string]map[string]bool
 	sigs    map[string]core.Signature
+	// scan is the shard's scan column: the same *stored pointers as
+	// entries, kept in insertion order in a plain slice. Full scans
+	// (collect without a prefilter) walk it instead of the map, so
+	// arena-backed segments — whose entries live in one contiguous slab in
+	// insertion order — are visited cache-linearly rather than in random
+	// map order. Maintained copy-on-write like the maps: the slice header
+	// is copied on first touch, appends and removals act on the copy.
+	scan []*stored
 }
 
 // emptySnapshot is version 1 of a fresh database. Epoch 0 is reserved to
@@ -116,9 +124,7 @@ func (s *snapshot) collect(labels []string, prefilter bool) []*stored {
 				out = append(out, sv.entries[id])
 			}
 		} else {
-			for _, st := range sv.entries {
-				out = append(out, st)
-			}
+			out = append(out, sv.scan...)
 		}
 	}
 	return out
@@ -227,6 +233,7 @@ func (m *txn) shard(idx int) *shardView {
 		for k, v := range src.sigs {
 			sv.sigs[k] = v
 		}
+		sv.scan = append(make([]*stored, 0, len(src.scan)+1), src.scan...)
 		m.shards[idx] = sv
 		m.dirty[idx] = true
 		m.fresh[idx] = make(map[string]bool)
@@ -286,13 +293,21 @@ func (m *txn) unindexLabel(idx int, sv *shardView, label, id string) {
 
 // add installs a new stored entry (id must not exist in the base),
 // populating the signature column from the entry's precomputed
-// signature (or deriving it from the BE-string when the caller did not
-// precompute one outside the writer lock).
+// signature. When the caller did not precompute one outside the writer
+// lock, the signature is derived here — once — and memoised on the
+// entry, so no later read (the refine stage's bound checks in
+// particular) ever re-derives it. st is not yet published, so writing
+// st.sig is safe.
 func (m *txn) add(st *stored) {
 	idx := shardIndex(st.ID, len(m.shards))
 	sv := m.shard(idx)
 	sv.entries[st.ID] = st
-	sv.sigs[st.ID] = st.signature()
+	if st.sig == nil {
+		sig := core.SignatureOf(st.BE)
+		st.sig = &sig
+	}
+	sv.sigs[st.ID] = *st.sig
+	sv.scan = append(sv.scan, st)
 	t := m.tree()
 	for _, o := range st.Image.Objects {
 		m.indexLabel(idx, sv, o.Label, st.ID)
@@ -307,6 +322,12 @@ func (m *txn) remove(st *stored) {
 	sv := m.shard(idx)
 	delete(sv.entries, st.ID)
 	delete(sv.sigs, st.ID)
+	for i, cur := range sv.scan {
+		if cur == st {
+			sv.scan = append(sv.scan[:i], sv.scan[i+1:]...)
+			break
+		}
+	}
 	t := m.tree()
 	for _, o := range st.Image.Objects {
 		m.unindexLabel(idx, sv, o.Label, st.ID)
@@ -327,7 +348,17 @@ func (m *txn) replace(old, next *stored) {
 		t.Delete(spatialID(old.ID, o.Label), o.Box)
 	}
 	sv.entries[next.ID] = next
-	sv.sigs[next.ID] = next.signature()
+	if next.sig == nil {
+		sig := core.SignatureOf(next.BE)
+		next.sig = &sig
+	}
+	sv.sigs[next.ID] = *next.sig
+	for i, cur := range sv.scan {
+		if cur == old {
+			sv.scan[i] = next
+			break
+		}
+	}
 	for _, o := range next.Image.Objects {
 		m.indexLabel(idx, sv, o.Label, next.ID)
 		t.Insert(spatialID(next.ID, o.Label), o.Box)

@@ -145,6 +145,16 @@ type Store struct {
 		groups, mutations, rejected, largest uint64
 	}
 
+	// importKeys holds the content keys of every durable import chunk —
+	// populated from the WAL during recovery, extended by live imports and
+	// replicated chunk frames — and importTally the cumulative import
+	// counters served on /healthz and /metrics (import.go). Both guarded
+	// by importMu; activeImports counts Importer.Run calls in flight.
+	importMu      sync.Mutex
+	importKeys    map[string]bool
+	importTally   ImportStats
+	activeImports int
+
 	// metrics is nil until EnableMetrics; an atomic pointer so metrics
 	// can be enabled while the store is already committing.
 	metrics atomic.Pointer[storeMetrics]
@@ -281,7 +291,14 @@ func OpenStore(dataDir string, opts StoreOptions) (*Store, error) {
 	if p, ok := wal.WrittenPolicy(dataDir); ok {
 		tolerantTail = p != wal.SyncAlways
 	}
+	// Import chunk keys seen during replay feed the importer's resume
+	// check: a restarted import skips every chunk whose key is already in
+	// the durable log (import.go).
+	importKeys := make(map[string]bool)
 	rinfo, err := wal.Recover(dataDir, snapLSN, tolerantTail, func(rec wal.Record) error {
+		if rec.Op == wal.OpImport && rec.Key != "" {
+			importKeys[rec.Key] = true
+		}
 		return applyRecord(db, rec)
 	})
 	if err != nil {
@@ -300,6 +317,7 @@ func OpenStore(dataDir string, opts StoreOptions) (*Store, error) {
 	s := &Store{
 		dir: dataDir, opts: opts, db: db, log: log, lock: lock, appliedLSN: lastLSN,
 		recoveredTornTails: rinfo.TornTails, recoveredTornBytes: rinfo.TornBytes,
+		importKeys: importKeys,
 	}
 	s.checkpointLSN.Store(snapLSN)
 	s.visibleLSN.Store(lastLSN) // the recovered state is fully published
@@ -335,7 +353,7 @@ func applyRecord(db *DB, rec wal.Record) error {
 		return db.InsertObject(rec.ID, *rec.Object)
 	case wal.OpDeleteObject:
 		return db.DeleteObject(rec.ID, rec.Label)
-	case wal.OpBulk:
+	case wal.OpBulk, wal.OpImport:
 		items := make([]BulkItem, len(rec.Items))
 		for i, it := range rec.Items {
 			items[i] = BulkItem{ID: it.ID, Name: it.Name, Image: it.Image}
@@ -365,17 +383,18 @@ func applyRecord(db *DB, rec wal.Record) error {
 	}
 }
 
-// append logs one record and accounts for it. Callers hold s.mu and have
-// validated that the subsequent apply cannot fail.
-func (s *Store) append(rec wal.Record) error {
+// append logs one record and accounts for it, returning the framed size.
+// Callers hold s.mu and have validated that the subsequent apply cannot
+// fail.
+func (s *Store) append(rec wal.Record) (int, error) {
 	lsn, n, err := s.log.Append(rec)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	s.appliedLSN = lsn
 	s.bytesSince += int64(n)
 	s.maybeCheckpointLocked()
-	return nil
+	return n, nil
 }
 
 // maybeCheckpointLocked kicks off a background checkpoint when enough WAL
@@ -458,7 +477,7 @@ func (s *Store) insertDirect(id, name string, img core.Image) error {
 	if err != nil {
 		return fmt.Errorf("insert %q: %w", id, err)
 	}
-	if err := s.append(wal.Record{Op: wal.OpInsert, ID: id, Name: name, Image: &img}); err != nil {
+	if _, err := s.append(wal.Record{Op: wal.OpInsert, ID: id, Name: name, Image: &img}); err != nil {
 		return err
 	}
 	if err := s.db.insertConverted(id, name, img, be); err != nil {
@@ -494,7 +513,7 @@ func (s *Store) deleteDirect(id string) error {
 	if !s.db.Has(id) {
 		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
 	}
-	if err := s.append(wal.Record{Op: wal.OpDelete, ID: id}); err != nil {
+	if _, err := s.append(wal.Record{Op: wal.OpDelete, ID: id}); err != nil {
 		return err
 	}
 	if err := s.db.Delete(id); err != nil {
@@ -539,7 +558,7 @@ func (s *Store) insertObjectDirect(id string, o core.Object) error {
 	if err != nil {
 		return fmt.Errorf("update %q: %w", id, err)
 	}
-	if err := s.append(wal.Record{Op: wal.OpInsertObject, ID: id, Object: &o}); err != nil {
+	if _, err := s.append(wal.Record{Op: wal.OpInsertObject, ID: id, Object: &o}); err != nil {
 		return err
 	}
 	if err := s.db.replaceImage(id, next, be); err != nil {
@@ -584,7 +603,7 @@ func (s *Store) deleteObjectDirect(id, label string) error {
 	if err != nil {
 		return fmt.Errorf("update %q: %w", id, err)
 	}
-	if err := s.append(wal.Record{Op: wal.OpDeleteObject, ID: id, Label: label}); err != nil {
+	if _, err := s.append(wal.Record{Op: wal.OpDeleteObject, ID: id, Label: label}); err != nil {
 		return err
 	}
 	if err := s.db.replaceImage(id, next, be); err != nil {
@@ -594,15 +613,37 @@ func (s *Store) deleteObjectDirect(id, label string) error {
 	return nil
 }
 
+// bulkChunkThreshold is the conservative size estimate above which a
+// bulk batch is routed through the chunked import path instead of one
+// WAL record: well under the wal.MaxRecordBytes frame bound, with room
+// for the estimate being an estimate. A package var so tests can lower
+// it without building multi-megabyte batches.
+var bulkChunkThreshold = int64(maxGroupBytes)
+
+// bulkSizeHint conservatively estimates the encoded WAL size of a batch
+// (the same per-item arithmetic the group committer uses).
+func bulkSizeHint(items []BulkItem) int64 {
+	size := int64(96)
+	for i := range items {
+		size += int64(96 + 2*(len(items[i].ID)+len(items[i].Name)) + imageSizeHint(&items[i].Image))
+	}
+	return size
+}
+
 // BulkInsert durably inserts a batch with the same all-or-nothing
 // contract as DB.BulkInsert: the whole batch is validated and converted
 // (in parallel, outside the writer lock) before a single WAL record is
 // written for it, so the log can never hold half a batch. The one-record
-// encoding bounds a batch to 64 MiB of encoded payload — split giant
-// loads into chunks (each chunk stays atomic). A bulk batch travels
-// through the commit queue as one unit: it may share a commit group (and
-// its fsync) with other mutations, but is still applied and logged
-// all-or-nothing.
+// encoding bounds a batch to wal.MaxRecordBytes (64 MiB) of encoded
+// payload; a batch estimated anywhere near that is routed through the
+// streaming importer automatically, which splits it into chunk records —
+// each chunk stays atomic and duplicate ids still fail the whole call,
+// but chunks already committed when a later chunk fails remain applied
+// (the trade documented in DESIGN.md section 12). Callers needing strict
+// all-or-nothing semantics at that scale should import explicitly. A
+// normal-sized bulk batch travels through the commit queue as one unit:
+// it may share a commit group (and its fsync) with other mutations, but
+// is still applied and logged all-or-nothing.
 func (s *Store) BulkInsert(ctx context.Context, items []BulkItem, parallelism int) error {
 	if s.opts.Replica {
 		return ErrReadOnlyReplica
@@ -610,10 +651,13 @@ func (s *Store) BulkInsert(ctx context.Context, items []BulkItem, parallelism in
 	if len(items) == 0 {
 		return nil
 	}
+	if bulkSizeHint(items) > bulkChunkThreshold {
+		return s.importOversizedBulk(ctx, items, parallelism)
+	}
 	if s.batcher == nil {
 		return s.bulkInsertDirect(ctx, items, parallelism)
 	}
-	sts, err := prepareBulk(ctx, items, parallelism)
+	sts, err := prepareBulk(ctx, items, parallelism, s.db.ArenaLayout())
 	if err != nil {
 		return err
 	}
@@ -633,7 +677,7 @@ func (s *Store) BulkInsert(ctx context.Context, items []BulkItem, parallelism in
 }
 
 func (s *Store) bulkInsertDirect(ctx context.Context, items []BulkItem, parallelism int) error {
-	sts, err := prepareBulk(ctx, items, parallelism)
+	sts, err := prepareBulk(ctx, items, parallelism, s.db.ArenaLayout())
 	if err != nil {
 		return err
 	}
@@ -651,7 +695,7 @@ func (s *Store) bulkInsertDirect(ctx context.Context, items []BulkItem, parallel
 	for i, it := range items {
 		recItems[i] = wal.BulkItem{ID: it.ID, Name: it.Name, Image: it.Image}
 	}
-	if err := s.append(wal.Record{Op: wal.OpBulk, Items: recItems}); err != nil {
+	if _, err := s.append(wal.Record{Op: wal.OpBulk, Items: recItems}); err != nil {
 		return fmt.Errorf("bulk insert (%d items): %w", len(items), err)
 	}
 	if err := s.db.installBulk(sts); err != nil {
@@ -802,6 +846,7 @@ type StoreStats struct {
 	Checkpoints   uint64      `json:"checkpoints"` // completed this session
 	WAL           wal.Stats   `json:"wal"`
 	Commit        CommitStats `json:"commit"`
+	Import        ImportStats `json:"import"`
 	CheckpointErr string      `json:"checkpointErr,omitempty"`
 }
 
@@ -827,6 +872,7 @@ func (s *Store) StoreStats() StoreStats {
 		Checkpoints:   s.checkpoints.Load(),
 		WAL:           s.log.Stats(),
 		Commit:        commit,
+		Import:        s.ImportStats(),
 	}
 	if s.batcher != nil {
 		st.Commit.Window = s.opts.CommitWindow.String()

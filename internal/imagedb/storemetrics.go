@@ -54,6 +54,24 @@ func (s *Store) EnableMetrics(reg *obs.Registry) {
 	reg.CounterFunc("bestring_wal_torn_tail_recoveries_total",
 		"Torn WAL tails truncated by this process's recovery (crash artefacts healed by design).",
 		func() float64 { return float64(s.recoveredTornTails) })
+	// Streaming-import tally (import.go): counters for committed and
+	// resumed work plus a live-imports gauge, all from the importMu-guarded
+	// tally so a scrape never tears chunks against images.
+	reg.CounterFunc("bestring_import_chunks_total",
+		"Import chunks committed (one WAL record, one fsync, one version each).",
+		func() float64 { return float64(s.ImportStats().Chunks) })
+	reg.CounterFunc("bestring_import_images_total",
+		"Scenes committed through streaming imports.",
+		func() float64 { return float64(s.ImportStats().Images) })
+	reg.CounterFunc("bestring_import_bytes_total",
+		"WAL bytes appended by import chunk records.",
+		func() float64 { return float64(s.ImportStats().Bytes) })
+	reg.CounterFunc("bestring_import_resumed_chunks_total",
+		"Import chunks skipped because an interrupted earlier run already made them durable.",
+		func() float64 { return float64(s.ImportStats().ResumedChunks) })
+	reg.GaugeFunc("bestring_import_active",
+		"Streaming imports running right now.",
+		func() float64 { return float64(s.ImportStats().Active) })
 	reg.GaugeVec("bestring_store_lsn",
 		"Store LSN horizons by kind: durable (fsynced), applied (in memory), visible (published), checkpoint (snapshotted), oldest (stream resume floor).",
 		"kind", func() []obs.Sample {

@@ -1,0 +1,208 @@
+// Package ingest provides streaming scene readers for the bulk importer
+// (DESIGN.md section 12). A Reader yields one scene at a time so corpora
+// far larger than memory can be imported: the importer pulls scenes,
+// groups them into bounded chunks, and never materialises the whole
+// source. Readers exist for NDJSON (one JSON scene per line, the same
+// shape as the REST insert body), a compact CSV dialect, in-memory
+// slices, and arbitrary Go iterators.
+package ingest
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"iter"
+	"strconv"
+	"strings"
+
+	"bestring/internal/core"
+)
+
+// Scene is one importable image with its identity.
+type Scene struct {
+	ID    string     `json:"id"`
+	Name  string     `json:"name,omitempty"`
+	Image core.Image `json:"image"`
+}
+
+// Reader streams scenes. Next returns io.EOF when the source is
+// exhausted; any other error aborts the import. Readers are not safe for
+// concurrent use — the importer pulls from a single goroutine.
+type Reader interface {
+	Next() (Scene, error)
+}
+
+// maxLineBytes bounds one NDJSON line / CSV record. A single scene is a
+// few KB even with hundreds of objects; 16MiB leaves generous headroom
+// while keeping a corrupted length from ballooning the scanner buffer.
+const maxLineBytes = 16 << 20
+
+// NDJSON reads newline-delimited JSON: one Scene object per line
+// ({"id":"...","name":"...","image":{"xmax":..,"ymax":..,"objects":[..]}}),
+// blank lines skipped. This is the wire format of POST /api/v1/import.
+func NDJSON(r io.Reader) Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	return &ndjsonReader{sc: sc}
+}
+
+type ndjsonReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func (r *ndjsonReader) Next() (Scene, error) {
+	for r.sc.Scan() {
+		r.line++
+		raw := strings.TrimSpace(r.sc.Text())
+		if raw == "" {
+			continue
+		}
+		var s Scene
+		if err := json.Unmarshal([]byte(raw), &s); err != nil {
+			return Scene{}, fmt.Errorf("ingest: ndjson line %d: %w", r.line, err)
+		}
+		return s, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Scene{}, fmt.Errorf("ingest: ndjson line %d: %w", r.line+1, err)
+	}
+	return Scene{}, io.EOF
+}
+
+// CSV reads the compact comma-separated dialect
+//
+//	id,name,xmax,ymax,objects
+//
+// where objects packs the scene content as |-separated label:x0:y0:x1:y1
+// specs, e.g. "cup:1:2:3:4|plate:0:0:9:2". A header row naming the five
+// columns is skipped if present. Standard CSV quoting applies, so labels
+// containing commas survive round-trips.
+func CSV(r io.Reader) Reader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	cr.ReuseRecord = true
+	return &csvReader{cr: cr}
+}
+
+type csvReader struct {
+	cr   *csv.Reader
+	line int
+}
+
+func (r *csvReader) Next() (Scene, error) {
+	for {
+		rec, err := r.cr.Read()
+		if err == io.EOF {
+			return Scene{}, io.EOF
+		}
+		if err != nil {
+			return Scene{}, fmt.Errorf("ingest: csv: %w", err)
+		}
+		r.line++
+		if r.line == 1 && rec[0] == "id" && rec[2] == "xmax" {
+			continue // header row
+		}
+		s, err := sceneFromCSV(rec)
+		if err != nil {
+			return Scene{}, fmt.Errorf("ingest: csv record %d: %w", r.line, err)
+		}
+		return s, nil
+	}
+}
+
+func sceneFromCSV(rec []string) (Scene, error) {
+	xmax, err := strconv.Atoi(rec[2])
+	if err != nil {
+		return Scene{}, fmt.Errorf("xmax: %w", err)
+	}
+	ymax, err := strconv.Atoi(rec[3])
+	if err != nil {
+		return Scene{}, fmt.Errorf("ymax: %w", err)
+	}
+	s := Scene{ID: rec[0], Name: rec[1], Image: core.Image{XMax: xmax, YMax: ymax}}
+	if rec[4] == "" {
+		return s, nil
+	}
+	specs := strings.Split(rec[4], "|")
+	s.Image.Objects = make([]core.Object, 0, len(specs))
+	for _, spec := range specs {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 5 {
+			return Scene{}, fmt.Errorf("object %q: want label:x0:y0:x1:y1", spec)
+		}
+		var coords [4]int
+		for i, p := range parts[1:] {
+			coords[i], err = strconv.Atoi(p)
+			if err != nil {
+				return Scene{}, fmt.Errorf("object %q: %w", spec, err)
+			}
+		}
+		s.Image.Objects = append(s.Image.Objects, core.Object{
+			Label: parts[0],
+			Box:   core.NewRect(coords[0], coords[1], coords[2], coords[3]),
+		})
+	}
+	return s, nil
+}
+
+// CSVObjects renders a scene's objects in the CSV dialect's packed
+// column format — the inverse of what CSV parses. Benchmarks and
+// exporters share it so the two sides cannot drift.
+func CSVObjects(img core.Image) string {
+	var b strings.Builder
+	for i, o := range img.Objects {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%s:%d:%d:%d:%d", o.Label, o.Box.X0, o.Box.Y0, o.Box.X1, o.Box.Y1)
+	}
+	return b.String()
+}
+
+// FromItems wraps an in-memory slice as a Reader.
+func FromItems(items []Scene) Reader {
+	return &sliceReader{items: items}
+}
+
+type sliceReader struct {
+	items []Scene
+	pos   int
+}
+
+func (r *sliceReader) Next() (Scene, error) {
+	if r.pos >= len(r.items) {
+		return Scene{}, io.EOF
+	}
+	s := r.items[r.pos]
+	r.pos++
+	return s, nil
+}
+
+// FromSeq adapts a Go iterator to a Reader, so generators can feed the
+// importer without materialising anything. The sequence ends the stream;
+// a non-nil error from the sequence aborts it.
+func FromSeq(seq iter.Seq2[Scene, error]) Reader {
+	next, stop := iter.Pull2(seq)
+	return &seqReader{next: next, stop: stop}
+}
+
+type seqReader struct {
+	next func() (Scene, error, bool)
+	stop func()
+}
+
+func (r *seqReader) Next() (Scene, error) {
+	s, err, ok := r.next()
+	if !ok {
+		r.stop()
+		return Scene{}, io.EOF
+	}
+	if err != nil {
+		r.stop()
+		return Scene{}, err
+	}
+	return s, nil
+}

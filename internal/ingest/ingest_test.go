@@ -1,0 +1,133 @@
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bestring/internal/core"
+)
+
+func testScenes(n int) []Scene {
+	scenes := make([]Scene, n)
+	for i := range scenes {
+		scenes[i] = Scene{
+			ID:   fmt.Sprintf("s%03d", i),
+			Name: fmt.Sprintf("scene %d", i),
+			Image: core.NewImage(20, 20,
+				core.Object{Label: fmt.Sprintf("icon%02d", i%5), Box: core.NewRect(i%10, 0, i%10+2, 3)},
+				core.Object{Label: "anchor", Box: core.NewRect(5, 5, 8, 9)},
+			),
+		}
+	}
+	return scenes
+}
+
+func drain(t *testing.T, r Reader) []Scene {
+	t.Helper()
+	var out []Scene
+	for {
+		s, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	want := testScenes(7)
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	for i, s := range want {
+		if err := enc.Encode(s); err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			b.WriteString("\n   \n") // blank lines are skipped
+		}
+	}
+	got := drain(t, NDJSON(strings.NewReader(b.String())))
+	if len(got) != len(want) {
+		t.Fatalf("%d scenes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Name != want[i].Name ||
+			!reflect.DeepEqual(got[i].Image, want[i].Image) {
+			t.Fatalf("scene %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNDJSONBadLine(t *testing.T) {
+	r := NDJSON(strings.NewReader("{\"id\":\"a\",\"image\":{\"xmax\":3,\"ymax\":3}}\n{nope\n"))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want a line-2 parse error", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	want := testScenes(5)
+	var b strings.Builder
+	b.WriteString("id,name,xmax,ymax,objects\n") // header row is skipped
+	for _, s := range want {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%q\n", s.ID, s.Name, s.Image.XMax, s.Image.YMax, CSVObjects(s.Image))
+	}
+	got := drain(t, CSV(strings.NewReader(b.String())))
+	if len(got) != len(want) {
+		t.Fatalf("%d scenes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || !reflect.DeepEqual(got[i].Image, want[i].Image) {
+			t.Fatalf("scene %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	// Wrong column count.
+	if _, err := CSV(strings.NewReader("a,b,c\n")).Next(); err == nil {
+		t.Fatal("short record accepted")
+	}
+	// Malformed object spec.
+	_, err := CSV(strings.NewReader("a,,3,3,icon:1:2\n")).Next()
+	if err == nil || !strings.Contains(err.Error(), "label:x0:y0:x1:y1") {
+		t.Fatalf("err = %v", err)
+	}
+	// Empty objects column is a bare canvas, not an error.
+	s, err := CSV(strings.NewReader("a,,3,3,\n")).Next()
+	if err != nil || len(s.Image.Objects) != 0 {
+		t.Fatalf("bare canvas: %+v, %v", s, err)
+	}
+}
+
+func TestFromItemsAndSeq(t *testing.T) {
+	want := testScenes(4)
+	if got := drain(t, FromItems(want)); len(got) != 4 {
+		t.Fatalf("FromItems: %d scenes", len(got))
+	}
+	boom := errors.New("generator failed")
+	r := FromSeq(func(yield func(Scene, error) bool) {
+		if !yield(want[0], nil) {
+			return
+		}
+		yield(Scene{}, boom)
+	})
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sequence error", err)
+	}
+}

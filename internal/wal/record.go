@@ -30,6 +30,7 @@ const (
 	OpDeleteObject = "delete-object" // ID, Label
 	OpBulk         = "bulk"          // Items (one atomic batch)
 	OpGroup        = "group"         // Subs (one commit group)
+	OpImport       = "import"        // Items + Key (one streaming-import chunk)
 )
 
 // BulkItem is one image of an atomic bulk-insert record.
@@ -60,6 +61,12 @@ type Record struct {
 	// with the usual tail rules: a batch can never be half-replayed. Groups
 	// do not nest.
 	Subs []Record `json:"subs,omitempty"`
+	// Key is the deterministic content key of an OpImport chunk: a hash of
+	// the chunk's items computed by the importer before the append. A
+	// restarted import derives the same keys from the same source and skips
+	// every chunk whose key is already in the durable log, which is what
+	// makes streaming imports crash-resumable (DESIGN.md section 12).
+	Key string `json:"key,omitempty"`
 }
 
 // Mutations returns the number of logical mutations the record carries:
@@ -75,7 +82,7 @@ func (r *Record) Mutations() int {
 			n += r.Subs[i].Mutations()
 		}
 		return n
-	case OpBulk:
+	case OpBulk, OpImport:
 		return len(r.Items)
 	}
 	return 1
@@ -97,6 +104,32 @@ const frameHeaderLen = 8
 // inside the log is corruption (or a torn length write at the tail).
 const maxRecordBytes = 64 << 20
 
+// MaxRecordBytes is the largest encoded payload a single WAL record may
+// carry. Append rejects anything larger with a *RecordTooLargeError
+// before touching the log; callers with bigger batches must chunk them
+// (the store routes oversized bulk inserts through the streaming-import
+// path automatically).
+const MaxRecordBytes = maxRecordBytes
+
+// ErrRecordTooLarge is the sentinel matched by errors.Is for records
+// whose encoded payload exceeds MaxRecordBytes.
+var ErrRecordTooLarge = fmt.Errorf("wal: record exceeds %d byte payload bound", maxRecordBytes)
+
+// RecordTooLargeError reports a record whose JSON payload would overflow
+// the frame bound. The append never reaches the log file, so the error is
+// not sticky: the log stays usable for correctly sized records.
+type RecordTooLargeError struct {
+	LSN  uint64 // the LSN the record would have consumed
+	Size int    // encoded payload size in bytes
+}
+
+func (e *RecordTooLargeError) Error() string {
+	return fmt.Sprintf("wal: record %d payload %d bytes exceeds limit %d", e.LSN, e.Size, maxRecordBytes)
+}
+
+// Unwrap makes errors.Is(err, ErrRecordTooLarge) hold.
+func (e *RecordTooLargeError) Unwrap() error { return ErrRecordTooLarge }
+
 // castagnoli is the CRC32C table shared by writers and readers.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -108,8 +141,7 @@ func encodeFrame(buf []byte, rec *Record) ([]byte, error) {
 		return nil, fmt.Errorf("wal: encode record %d: %w", rec.LSN, err)
 	}
 	if len(payload) > maxRecordBytes {
-		return nil, fmt.Errorf("wal: record %d payload %d bytes exceeds limit %d",
-			rec.LSN, len(payload), maxRecordBytes)
+		return nil, &RecordTooLargeError{LSN: rec.LSN, Size: len(payload)}
 	}
 	var hdr [frameHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))

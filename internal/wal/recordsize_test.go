@@ -1,0 +1,81 @@
+package wal
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecordTooLargeTypedError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 1, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// A name just past the frame bound: the JSON payload exceeds
+	// MaxRecordBytes however the rest of the record encodes.
+	img := testImage("A")
+	big := Record{Op: OpInsert, ID: "huge", Name: strings.Repeat("x", MaxRecordBytes+1), Image: &img}
+	_, _, err = l.Append(big)
+	if err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	// Callers branch on the sentinel...
+	if !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("errors.Is(ErrRecordTooLarge) false: %v", err)
+	}
+	// ...and the typed error carries the rejected size for diagnostics.
+	var tooBig *RecordTooLargeError
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("errors.As(*RecordTooLargeError) false: %v", err)
+	}
+	if tooBig.Size <= MaxRecordBytes || tooBig.LSN == 0 {
+		t.Fatalf("typed error = %+v", tooBig)
+	}
+
+	// The rejection is clean: the log still accepts ordinary appends and
+	// the LSN sequence has no gap.
+	lsn, _, err := l.Append(Record{Op: OpInsert, ID: "ok", Image: &img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 1 {
+		t.Fatalf("lsn after rejection = %d, want 1", lsn)
+	}
+	recs, _ := replayAll(t, dir, 0)
+	if len(recs) != 1 || recs[0].ID != "ok" {
+		t.Fatalf("replayed %d records", len(recs))
+	}
+}
+
+func TestOpImportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 1, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{
+		Op:    OpImport,
+		Key:   strings.Repeat("ab", 32),
+		Items: []BulkItem{{ID: "a", Image: testImage("A")}, {ID: "b", Name: "two", Image: testImage("B")}},
+	}
+	if _, _, err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := replayAll(t, dir, 0)
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	got := recs[0]
+	if got.Op != OpImport || got.Key != rec.Key || len(got.Items) != 2 || got.Items[1].Name != "two" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Mutations() != 2 {
+		t.Fatalf("Mutations() = %d", got.Mutations())
+	}
+}
